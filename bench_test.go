@@ -1,0 +1,323 @@
+// Package repro's root benchmark suite regenerates every table and figure of
+// the paper's evaluation (one benchmark per artifact, named after it), plus
+// micro-benchmarks for the substrate operations and ablation benchmarks for
+// the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks operate on the Small dataset (~1/50 CareWeb) and
+// report the figure's rendered output once per run via b.Log at -v.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/accesslog"
+	"repro/internal/ehr"
+	"repro/internal/experiments"
+	"repro/internal/explain"
+	"repro/internal/groups"
+	"repro/internal/mine"
+	"repro/internal/query"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func smallEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() { benchEnv = experiments.Prepare(experiments.Default()) })
+	return benchEnv
+}
+
+// BenchmarkFigure6 regenerates Figure 6 (event frequency, all accesses).
+func BenchmarkFigure6(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure6(e)
+		if len(f.Bars) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (hand-crafted recall, all accesses).
+func BenchmarkFigure7(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure7(e)
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (event frequency, first accesses).
+func BenchmarkFigure8(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure8(e)
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (hand-crafted recall, first
+// accesses).
+func BenchmarkFigure9(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure9(e)
+	}
+}
+
+// BenchmarkFigure10_11 regenerates the collaborative-group composition
+// analysis of Figures 10 and 11.
+func BenchmarkFigure10_11(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure10_11(e, 2)
+		if len(f.Groups) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates Figure 12 (group predictive power by
+// hierarchy depth).
+func BenchmarkFigure12(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure12(e)
+	}
+}
+
+// BenchmarkFigure12Decorated regenerates the decorated-template variant of
+// Figure 12 (§5.3.4 future work).
+func BenchmarkFigure12Decorated(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure12Decorated(e)
+	}
+}
+
+// BenchmarkFigure13 regenerates Figure 13 (mining performance, all five
+// algorithms). This is the heaviest benchmark; each iteration runs five
+// complete mining passes.
+func BenchmarkFigure13(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure13(e)
+	}
+}
+
+// BenchmarkFigure13OneWay times only the one-way miner, for quick
+// comparisons.
+func BenchmarkFigure13OneWay(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure13(e, mine.AlgoOneWay)
+	}
+}
+
+// BenchmarkFigure14 regenerates Figure 14 (mined template predictive power).
+func BenchmarkFigure14(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure14(e)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (template stability across periods).
+func BenchmarkTable1(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(e)
+	}
+}
+
+// BenchmarkHeadline regenerates the headline ">94% explained" numbers.
+func BenchmarkHeadline(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Headline(e)
+	}
+}
+
+// --- micro-benchmarks -----------------------------------------------------
+
+// BenchmarkGenerateSmall times dataset generation.
+func BenchmarkGenerateSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := ehr.Generate(ehr.Small())
+		if ds.Log().NumRows() == 0 {
+			b.Fatal("empty log")
+		}
+	}
+}
+
+// BenchmarkClustering times user-graph construction plus hierarchical
+// modularity clustering.
+func BenchmarkClustering(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := groups.BuildUserGraph(e.TrainLog)
+		h := groups.BuildHierarchy(g, 8)
+		if h.MaxDepth() < 1 {
+			b.Fatal("degenerate hierarchy")
+		}
+	}
+}
+
+// BenchmarkSupportLen2 times exact support evaluation of a length-2
+// template over the full log.
+func BenchmarkSupportLen2(b *testing.B) {
+	e := smallEnv(b)
+	ev := query.NewEvaluator(e.DS.DB)
+	tpl := explain.WithDrTemplate("appt-with-dr", "Appointments", "an appointment")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev.Support(tpl.Path) == 0 {
+			b.Fatal("zero support")
+		}
+	}
+}
+
+// BenchmarkSupportLen4Groups times support evaluation of the length-4
+// collaborative-group template, the most expensive hand-crafted query.
+func BenchmarkSupportLen4Groups(b *testing.B) {
+	e := smallEnv(b)
+	ev := query.NewEvaluator(e.DS.DB)
+	tpl := explain.GroupTemplate("appt-same-group", "Appointments", "an appointment")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev.Support(tpl.Path) == 0 {
+			b.Fatal("zero support")
+		}
+	}
+}
+
+// BenchmarkEstimate times the optimizer-style cardinality estimate that the
+// skip-non-selective optimization relies on being much cheaper than exact
+// evaluation.
+func BenchmarkEstimate(b *testing.B) {
+	e := smallEnv(b)
+	ev := query.NewEvaluator(e.DS.DB)
+	tpl := explain.GroupTemplate("appt-same-group", "Appointments", "an appointment")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EstimateSupport(tpl.Path)
+	}
+}
+
+// BenchmarkFirstAccesses times first-access extraction over the full log.
+func BenchmarkFirstAccesses(b *testing.B) {
+	e := smallEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if accesslog.FirstAccesses(e.FullLog).NumRows() == 0 {
+			b.Fatal("no first accesses")
+		}
+	}
+}
+
+// --- ablation benchmarks ---------------------------------------------------
+
+func miningSetup(b *testing.B) (*query.Evaluator, mine.Options) {
+	e := smallEnv(b)
+	db, audited := e.MiningDB()
+	opt := e.Cfg.Mining
+	opt.MaxLength = 4 // keep ablations comparable and fast
+	return query.NewEvaluatorWithLog(db, audited), opt
+}
+
+// BenchmarkAblationSupportCache compares mining with and without the
+// canonical-condition support cache (§3.2.1 optimization 1).
+func BenchmarkAblationSupportCache(b *testing.B) {
+	graph := ehr.SchemaGraph(ehr.DefaultGraphOptions())
+	b.Run("cache=on", func(b *testing.B) {
+		ev, opt := miningSetup(b)
+		opt.CacheSupport = true
+		for i := 0; i < b.N; i++ {
+			mine.OneWay(ev, graph, opt)
+		}
+	})
+	b.Run("cache=off", func(b *testing.B) {
+		ev, opt := miningSetup(b)
+		opt.CacheSupport = false
+		for i := 0; i < b.N; i++ {
+			mine.OneWay(ev, graph, opt)
+		}
+	})
+}
+
+// BenchmarkAblationSkip compares mining with and without the
+// skip-non-selective-paths optimization (§3.2.1 optimization 3).
+func BenchmarkAblationSkip(b *testing.B) {
+	graph := ehr.SchemaGraph(ehr.DefaultGraphOptions())
+	b.Run("skip=on", func(b *testing.B) {
+		ev, opt := miningSetup(b)
+		opt.SkipNonSelective = true
+		for i := 0; i < b.N; i++ {
+			mine.OneWay(ev, graph, opt)
+		}
+	})
+	b.Run("skip=off", func(b *testing.B) {
+		ev, opt := miningSetup(b)
+		opt.SkipNonSelective = false
+		for i := 0; i < b.N; i++ {
+			mine.OneWay(ev, graph, opt)
+		}
+	})
+}
+
+// BenchmarkAblationDistinct compares the DISTINCT-projection support
+// evaluator against the naive nested-loop evaluator (§3.2.1 optimization 2)
+// on the length-2 appointment template.
+func BenchmarkAblationDistinct(b *testing.B) {
+	e := smallEnv(b)
+	tpl := explain.WithDrTemplate("appt-with-dr", "Appointments", "an appointment")
+	// Evaluate over first accesses to keep the naive variant tractable.
+	db, audited := e.MiningDB()
+	ev := query.NewEvaluatorWithLog(db, audited)
+	want := ev.Support(tpl.Path)
+	b.Run("distinct=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ev.Support(tpl.Path) != want {
+				b.Fatal("support mismatch")
+			}
+		}
+	})
+	b.Run("distinct=off(naive)", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ev.SupportNaive(tpl.Path) != want {
+				b.Fatal("support mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBridgeLength sweeps the bridged miner's half-length,
+// complementing Figure 13.
+func BenchmarkAblationBridgeLength(b *testing.B) {
+	graph := ehr.SchemaGraph(ehr.DefaultGraphOptions())
+	for _, l := range []int{2, 3, 4} {
+		b.Run(mine.AlgoBridge(l), func(b *testing.B) {
+			ev, opt := miningSetup(b)
+			for i := 0; i < b.N; i++ {
+				mine.Bridged(ev, graph, opt, l)
+			}
+		})
+	}
+}

@@ -1,0 +1,86 @@
+// Command ebabench regenerates every table and figure of the paper's
+// evaluation over the synthetic CareWeb dataset and prints them as text.
+//
+// Usage:
+//
+//	ebabench [-scale tiny|small|medium] [-seed N] [-experiment name]
+//
+// Experiments: fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13
+// fig14 table1 headline, or "all" (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/ehr"
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "dataset scale: tiny, small, or medium")
+	seed := flag.Int64("seed", 1, "generator seed")
+	which := flag.String("experiment", "all", "experiment to run (fig6..fig14, table1, headline, all)")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	switch *scale {
+	case "tiny":
+		cfg = experiments.Tiny()
+	case "small":
+		// default
+	case "medium":
+		cfg.EHR = ehr.Medium()
+	default:
+		fmt.Fprintf(os.Stderr, "ebabench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.EHR.Seed = *seed
+	cfg.TrainEndDay = cfg.EHR.Days - 2
+
+	start := time.Now()
+	env := experiments.Prepare(cfg)
+	fmt.Printf("prepared %s dataset in %v: %d accesses, %d patients, %d users\n\n",
+		*scale, time.Since(start).Round(time.Millisecond),
+		env.FullLog.NumRows(), len(env.DS.Patients), len(env.DS.Users))
+
+	type renderer interface{ Render() string }
+	run := func(name string, f func() renderer) {
+		if *which != "all" && *which != name {
+			return
+		}
+		t0 := time.Now()
+		out := f().Render()
+		fmt.Print(out)
+		fmt.Printf("  [%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("fig6", func() renderer { return experiments.Figure6(env) })
+	run("fig7", func() renderer { return experiments.Figure7(env) })
+	run("fig8", func() renderer { return experiments.Figure8(env) })
+	run("fig9", func() renderer { return experiments.Figure9(env) })
+	run("fig10-11", func() renderer { return experiments.Figure10_11(env, 2) })
+	run("fig12", func() renderer { return experiments.Figure12(env) })
+	run("fig12-decorated", func() renderer { return experiments.Figure12Decorated(env) })
+	run("fig13", func() renderer { return experiments.Figure13(env) })
+	run("fig14", func() renderer { return experiments.Figure14(env) })
+	run("table1", func() renderer { return experiments.Table1(env) })
+	run("headline", func() renderer { return experiments.Headline(env) })
+
+	if *which != "all" && !validExperiment(*which) {
+		fmt.Fprintf(os.Stderr, "ebabench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+func validExperiment(name string) bool {
+	for _, n := range strings.Split("fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13 fig14 table1 headline", " ") {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+// Command ebaudit is the interactive face of the explanation-based auditing
+// library: it generates (or regenerates) the synthetic hospital, then
+// answers the three questions the paper poses — what happened to a patient's
+// record and why (the patient portal), which templates explain the log
+// (mining), and which accesses nothing explains (misuse triage).
+//
+// Usage:
+//
+//	ebaudit [flags] summary
+//	ebaudit [flags] patient -id N        # portal report for one patient
+//	ebaudit [flags] mine [-algo name]    # mine templates for review
+//	ebaudit [flags] unexplained [-n N]   # misuse-detection shortlist
+//	ebaudit [flags] groups [-depth D]    # collaborative-group composition
+//	ebaudit [flags] templates            # print the hand-crafted catalog
+//	ebaudit [flags] export -dir DIR      # dump every table as typed CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ehr"
+	"repro/internal/explain"
+	"repro/internal/groups"
+	"repro/internal/mine"
+	"repro/internal/relation"
+)
+
+func main() {
+	scale := flag.String("scale", "tiny", "dataset scale: tiny, small, or medium")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	cfg := ehr.Tiny()
+	switch *scale {
+	case "tiny":
+	case "small":
+		cfg = ehr.Small()
+	case "medium":
+		cfg = ehr.Medium()
+	default:
+		fmt.Fprintf(os.Stderr, "ebaudit: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+
+	app := newApp(cfg)
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "summary":
+		err = app.summary()
+	case "patient":
+		err = app.patient(args)
+	case "mine":
+		err = app.mine(args)
+	case "unexplained":
+		err = app.unexplained(args)
+	case "groups":
+		err = app.groups(args)
+	case "templates":
+		err = app.templates()
+	case "export":
+		err = app.export(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ebaudit: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ebaudit [-scale S] [-seed N] <summary|patient|mine|unexplained|groups|templates|export> [args]")
+}
+
+// app holds the prepared auditor.
+type app struct {
+	ds      *ehr.Dataset
+	auditor *core.Auditor
+	hier    *groups.Hierarchy
+}
+
+func newApp(cfg ehr.Config) *app {
+	ds := ehr.Generate(cfg)
+	graph := ehr.SchemaGraph(ehr.DefaultGraphOptions())
+	a := core.NewAuditor(ds.DB, graph, core.WithNamer(ds))
+	hier := a.BuildGroups(core.GroupsOptions{})
+	a.AddTemplates(explain.Handcrafted(true, true).All()...)
+	return &app{ds: ds, auditor: a, hier: hier}
+}
+
+func (a *app) summary() error {
+	fmt.Println(a.auditor.Summary())
+	for _, line := range a.ds.DB.Summary() {
+		fmt.Println("  " + line)
+	}
+	fmt.Printf("explained fraction with hand-crafted templates: %.3f\n", a.auditor.ExplainedFraction())
+	return nil
+}
+
+func (a *app) patient(args []string) error {
+	fs := flag.NewFlagSet("patient", flag.ContinueOnError)
+	id := fs.Int64("id", 1, "patient id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reports := a.auditor.PatientReport(relation.Int(*id), 1)
+	if len(reports) == 0 {
+		return fmt.Errorf("no accesses recorded for patient %d", *id)
+	}
+	fmt.Printf("access report for %s (%d accesses)\n", a.ds.PatientName(relation.Int(*id)), len(reports))
+	for _, r := range reports {
+		fmt.Printf("  L%d %s — %s\n", r.Lid, r.Date, r.UserName)
+		if !r.Explained() {
+			fmt.Printf("      (no explanation found — consider reporting to the compliance office)\n")
+			continue
+		}
+		for i, e := range r.Explanations {
+			if i >= 2 {
+				fmt.Printf("      ... and %d more explanations\n", len(r.Explanations)-i)
+				break
+			}
+			fmt.Printf("      because %s [%s]\n", e.Text, e.Template)
+		}
+	}
+	return nil
+}
+
+func (a *app) mine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
+	algo := fs.String("algo", mine.AlgoOneWay, "one-way, two-way, or bridge-N")
+	maxLen := fs.Int("M", 4, "maximum path length")
+	support := fs.Float64("s", 0.01, "support fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := mine.DefaultOptions()
+	opt.MaxLength = *maxLen
+	opt.SupportFraction = *support
+	res, err := a.auditor.MineTemplates(*algo, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mined %d templates (%s, s=%.2f%%, M=%d, T=%d); review before adoption:\n",
+		len(res.Templates), *algo, opt.SupportFraction*100, opt.MaxLength, opt.MaxTables)
+	for _, p := range res.Templates {
+		fmt.Printf("  len=%d  %s\n", p.Length(), p.String())
+	}
+	fmt.Printf("stats: candidates=%d queries=%d cacheHits=%d skipped=%d\n",
+		res.Stats.CandidatesGenerated, res.Stats.SupportQueries,
+		res.Stats.CacheHits, res.Stats.Skipped)
+	return nil
+}
+
+func (a *app) unexplained(args []string) error {
+	fs := flag.NewFlagSet("unexplained", flag.ContinueOnError)
+	n := fs.Int("n", 20, "maximum rows to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := a.auditor.UnexplainedAccesses()
+	log := a.ds.Log()
+	fmt.Printf("%d of %d accesses unexplained (%.2f%%)\n",
+		len(rows), log.NumRows(), 100*float64(len(rows))/float64(log.NumRows()))
+	for i, r := range rows {
+		if i >= *n {
+			fmt.Printf("  ... and %d more\n", len(rows)-i)
+			break
+		}
+		rep := a.auditor.ExplainRow(r, 1)
+		cause := a.ds.Causes[r]
+		fmt.Printf("  L%-6d %s  %-22s -> %-18s (ground truth: %s)\n",
+			rep.Lid, rep.Date, rep.UserName, a.ds.PatientName(rep.Patient), cause)
+	}
+	return nil
+}
+
+func (a *app) groups(args []string) error {
+	fs := flag.NewFlagSet("groups", flag.ContinueOnError)
+	depth := fs.Int("depth", 1, "hierarchy depth to display")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := *depth
+	if d > a.hier.MaxDepth() {
+		d = a.hier.MaxDepth()
+	}
+	byGroup := a.hier.GroupsAt(d)
+	ids := make([]int, 0, len(byGroup))
+	for id := range byGroup {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("%d collaborative groups at depth %d (hierarchy depth %d)\n", len(ids), d, a.hier.MaxDepth())
+	for _, id := range ids {
+		members := byGroup[id]
+		counts := map[string]int{}
+		for _, u := range members {
+			if user := a.ds.UserByAudit(u.AsInt()); user != nil {
+				counts[user.DeptCode]++
+			}
+		}
+		fmt.Printf("  group %d: %d members", id, len(members))
+		codes := make([]string, 0, len(counts))
+		for c := range counts {
+			codes = append(codes, c)
+		}
+		sort.Slice(codes, func(i, j int) bool { return counts[codes[i]] > counts[codes[j]] })
+		for i, c := range codes {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  [%s x%d]", c, counts[c])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func (a *app) templates() error {
+	for _, t := range a.auditor.Templates() {
+		fmt.Printf("%s (length %d)\n%s\n\n", t.Name(), t.Length(), t.SQL())
+	}
+	return nil
+}
+
+// export dumps every table of the generated database as typed CSV files, so
+// the synthetic hospital can be inspected with external tools or loaded
+// back with relation.Load.
+func (a *app) export(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	dir := fs.String("dir", "ebaudit-export", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range a.ds.DB.TableNames() {
+		path := filepath.Join(*dir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := a.ds.DB.MustTable(name).Dump(f); err != nil {
+			f.Close()
+			return fmt.Errorf("dumping %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, a.ds.DB.MustTable(name).NumRows())
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Group discovery: Section 4 of the paper, stand-alone. Builds the
+// user-similarity graph W = AᵀA from the access log, clusters it by
+// modularity maximization, recursively refines the clusters into a
+// hierarchy, and prints the department-code composition of the largest
+// groups — the analysis behind the paper's Figures 10 and 11, where the
+// Cancer Center and Psychiatric Care groups emerged, with radiology,
+// pharmacy, and rotating medical students mixed in.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ehr"
+	"repro/internal/groups"
+)
+
+func main() {
+	ds := ehr.Generate(ehr.Small())
+
+	// Train on the first six days, as in §5.3.2.
+	log := ds.Log()
+	graph := groups.BuildUserGraph(log)
+	fmt.Printf("user-similarity graph: %d users\n", graph.NumUsers())
+
+	hier := groups.BuildHierarchy(graph, 8)
+	fmt.Printf("hierarchy depth: %d\n", hier.MaxDepth())
+	for d := 0; d <= hier.MaxDepth(); d++ {
+		fmt.Printf("  depth %d: %d groups\n", d, hier.NumGroupsAt(d))
+	}
+
+	// Show the composition of the three largest depth-1 groups.
+	byGroup := hier.GroupsAt(1)
+	type sized struct {
+		id   int
+		n    int
+		dept map[string]int
+	}
+	var all []sized
+	for id, members := range byGroup {
+		s := sized{id: id, n: len(members), dept: map[string]int{}}
+		for _, u := range members {
+			if user := ds.UserByAudit(u.AsInt()); user != nil {
+				s.dept[user.DeptCode]++
+			}
+		}
+		all = append(all, s)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+
+	fmt.Println("\nlargest collaborative groups (compare the paper's Figures 10 and 11):")
+	for i, s := range all {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("\n  group %d — %d members\n", s.id, s.n)
+		codes := make([]string, 0, len(s.dept))
+		for c := range s.dept {
+			codes = append(codes, c)
+		}
+		sort.Slice(codes, func(a, b int) bool {
+			if s.dept[codes[a]] != s.dept[codes[b]] {
+				return s.dept[codes[a]] > s.dept[codes[b]]
+			}
+			return codes[a] < codes[b]
+		})
+		for _, c := range codes {
+			fmt.Printf("    %-45s %d\n", c, s.dept[c])
+		}
+	}
+
+	// The paper's observation about department codes: a care team mixes
+	// "...(Physicians)" and "Nursing-..." codes, which is why clustering
+	// beats department codes as a collaboration signal.
+	fmt.Println("\nnote how groups mix physician and nursing department codes —")
+	fmt.Println("department codes alone would split every care team in two.")
+}

@@ -1,0 +1,254 @@
+// Package core is the public facade of the explanation-based auditing
+// library. An Auditor wires the substrates together — the relational
+// database, the schema graph, collaborative-group inference, template
+// mining, and natural-language rendering — behind the three operations the
+// paper motivates:
+//
+//   - user-centric auditing: list every access to a patient's record with a
+//     plain-language explanation of why it happened (Example 1.1);
+//   - template management: mine frequent explanation templates for an
+//     administrator to review (§3);
+//   - misuse detection: surface the accesses that no template explains, the
+//     shortlist a compliance office would investigate (§1).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/accesslog"
+	"repro/internal/explain"
+	"repro/internal/groups"
+	"repro/internal/metrics"
+	"repro/internal/mine"
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/schemagraph"
+)
+
+// Auditor answers explanation queries over one database and access log.
+// Construct it with NewAuditor, optionally add collaborative groups with
+// BuildGroups, then register templates (hand-crafted, mined, or both).
+// Auditor is not safe for concurrent use.
+type Auditor struct {
+	db    *relation.Database
+	graph *schemagraph.Graph
+	ev    *query.Evaluator
+	namer explain.Namer
+
+	templates []explain.Template
+	// masks caches Evaluate results per template index.
+	masks map[int][]bool
+}
+
+// Option configures an Auditor.
+type Option func(*Auditor)
+
+// WithNamer installs a display-name resolver used when rendering
+// explanations (for example, the dataset generator's ground-truth names).
+func WithNamer(n explain.Namer) Option {
+	return func(a *Auditor) { a.namer = n }
+}
+
+// NewAuditor creates an auditor over db, whose Log table is the audited
+// log, using graph as the join-edge catalog.
+func NewAuditor(db *relation.Database, graph *schemagraph.Graph, opts ...Option) *Auditor {
+	a := &Auditor{
+		db:    db,
+		graph: graph,
+		ev:    query.NewEvaluator(db),
+		namer: explain.NullNamer{},
+		masks: make(map[int][]bool),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Database returns the underlying database.
+func (a *Auditor) Database() *relation.Database { return a.db }
+
+// Graph returns the schema graph.
+func (a *Auditor) Graph() *schemagraph.Graph { return a.graph }
+
+// Evaluator returns the query evaluator bound to the auditor's database,
+// for callers running custom path queries.
+func (a *Auditor) Evaluator() *query.Evaluator { return a.ev }
+
+// GroupsOptions configures collaborative-group inference.
+type GroupsOptions struct {
+	// TrainLog is the log to cluster on (defaults to the auditor's log). The
+	// paper trains on days 1-6 and evaluates on day 7.
+	TrainLog *relation.Table
+	// MaxDepth bounds the hierarchy depth (the paper found 8 levels).
+	MaxDepth int
+	// TableName is the name of the materialized table (default "Groups").
+	TableName string
+}
+
+// BuildGroups infers collaborative user groups from an access log (§4),
+// installs the Groups table into the database, and returns the hierarchy.
+// It must be called before registering templates that reference Groups.
+func (a *Auditor) BuildGroups(opt GroupsOptions) *groups.Hierarchy {
+	trainLog := opt.TrainLog
+	if trainLog == nil {
+		trainLog = a.ev.Log()
+	}
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = 8
+	}
+	if opt.TableName == "" {
+		opt.TableName = "Groups"
+	}
+	g := groups.BuildUserGraph(trainLog)
+	h := groups.BuildHierarchy(g, opt.MaxDepth)
+	a.db.AddTable(h.Table(opt.TableName))
+	// Rebinding is unnecessary (the evaluator holds the same *Database), but
+	// cached masks may predate the table; clear them.
+	a.masks = make(map[int][]bool)
+	return h
+}
+
+// AddTemplates registers explanation templates. Templates are consulted in
+// registration order; explanations for one access are ranked by ascending
+// path length, as in §2.1.
+func (a *Auditor) AddTemplates(ts ...explain.Template) {
+	a.templates = append(a.templates, ts...)
+}
+
+// Templates returns the registered templates.
+func (a *Auditor) Templates() []explain.Template { return a.templates }
+
+// MineTemplates runs the named mining algorithm ("one-way", "two-way", or
+// "bridge-N") over the auditor's database and returns the supported
+// templates without registering them — the paper keeps the administrator in
+// the loop to approve mined templates. Wrap approved paths with
+// explain.NewPathTemplate and pass them to AddTemplates.
+func (a *Auditor) MineTemplates(algo string, opt mine.Options) (mine.Result, error) {
+	return mine.Run(algo, a.ev, a.graph, opt)
+}
+
+// mask returns (computing on demand) the explained-rows mask of template i.
+func (a *Auditor) mask(i int) []bool {
+	if m, ok := a.masks[i]; ok {
+		return m
+	}
+	m := a.templates[i].Evaluate(a.ev)
+	a.masks[i] = m
+	return m
+}
+
+// Explanation is one rendered explanation for one access.
+type Explanation struct {
+	Template string // template name
+	Length   int    // path length (explanations are ranked ascending)
+	Text     string // natural-language instance
+}
+
+// AccessReport describes one log row and its explanations.
+type AccessReport struct {
+	Lid          int64
+	Date         relation.Value
+	User         relation.Value
+	Patient      relation.Value
+	UserName     string
+	Explanations []Explanation
+}
+
+// Explained reports whether any template explains the access.
+func (r AccessReport) Explained() bool { return len(r.Explanations) > 0 }
+
+// ExplainRow builds the report for one log row index.
+func (a *Auditor) ExplainRow(row int, maxPerTemplate int) AccessReport {
+	log := a.ev.Log()
+	if maxPerTemplate <= 0 {
+		maxPerTemplate = 3
+	}
+	rep := AccessReport{
+		Lid:     log.Get(row, pathmodel.LogIDColumn).AsInt(),
+		Date:    log.Get(row, pathmodel.LogDateColumn),
+		User:    log.Get(row, pathmodel.LogUserColumn),
+		Patient: log.Get(row, pathmodel.LogPatientColumn),
+	}
+	rep.UserName = a.namer.UserName(rep.User)
+	for i, t := range a.templates {
+		if !a.mask(i)[row] {
+			continue
+		}
+		for _, text := range t.Render(a.ev, row, maxPerTemplate, a.namer) {
+			rep.Explanations = append(rep.Explanations, Explanation{
+				Template: t.Name(), Length: t.Length(), Text: text,
+			})
+		}
+	}
+	sort.SliceStable(rep.Explanations, func(i, j int) bool {
+		return rep.Explanations[i].Length < rep.Explanations[j].Length
+	})
+	return rep
+}
+
+// PatientReport is the user-centric auditing view: every access to one
+// patient's record, each with its explanations.
+func (a *Auditor) PatientReport(patient relation.Value, maxPerTemplate int) []AccessReport {
+	log := a.ev.Log()
+	pi, _ := log.ColumnIndex(pathmodel.LogPatientColumn)
+	var out []AccessReport
+	for r := 0; r < log.NumRows(); r++ {
+		if log.Row(r)[pi] == patient {
+			out = append(out, a.ExplainRow(r, maxPerTemplate))
+		}
+	}
+	return out
+}
+
+// UnexplainedAccesses returns the log rows no registered template explains —
+// the paper's misuse-detection shortlist. The returned slice holds row
+// indexes into the auditor's log.
+func (a *Auditor) UnexplainedAccesses() []int {
+	masks := make([][]bool, len(a.templates))
+	for i := range a.templates {
+		masks[i] = a.mask(i)
+	}
+	var out []int
+	n := a.ev.Log().NumRows()
+	for r := 0; r < n; r++ {
+		explained := false
+		for _, m := range masks {
+			if m[r] {
+				explained = true
+				break
+			}
+		}
+		if !explained {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ExplainedFraction returns the fraction of log rows explained by the
+// registered templates (the paper's headline ">94% of accesses" number).
+func (a *Auditor) ExplainedFraction() float64 {
+	masks := make([][]bool, len(a.templates))
+	for i := range a.templates {
+		masks[i] = a.mask(i)
+	}
+	if len(masks) == 0 {
+		return 0
+	}
+	return metrics.Fraction(metrics.Union(masks...))
+}
+
+// Summary returns a one-paragraph description of the auditor state for CLI
+// display.
+func (a *Auditor) Summary() string {
+	log := a.ev.Log()
+	return fmt.Sprintf("auditor: %d log rows, %d distinct patients, %d distinct users, %d user-patient pairs, %d templates",
+		log.NumRows(),
+		log.NumDistinct(pathmodel.LogPatientColumn),
+		log.NumDistinct(pathmodel.LogUserColumn),
+		accesslog.UserPatientPairs(log),
+		len(a.templates))
+}

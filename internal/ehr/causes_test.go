@@ -1,0 +1,136 @@
+package ehr_test
+
+import (
+	"testing"
+
+	"repro/internal/ehr"
+	"repro/internal/relation"
+)
+
+// TestCauseLabelsAreWitnessed cross-checks every ground-truth cause label
+// against the relational data: the label must be backed by actual rows.
+// This is the generator's strongest correctness test — if it holds, the
+// explanation pipeline's recall numbers measure the algorithms, not
+// generator bugs.
+func TestCauseLabelsAreWitnessed(t *testing.T) {
+	ds := ehr.Generate(ehr.Tiny())
+	log := ds.Log()
+	db := ds.DB
+
+	// Index helper: does table t have a row with the given column values?
+	hasRow := func(table string, cols map[string]relation.Value) bool {
+		tb := db.MustTable(table)
+		var firstCol string
+		for c := range cols {
+			firstCol = c
+			break
+		}
+		for _, r := range tb.Index(firstCol)[cols[firstCol]] {
+			match := true
+			for c, v := range cols {
+				if tb.Get(r, c) != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+		return false
+	}
+
+	seenPairs := make(map[[2]int64]bool)
+	for r := 0; r < log.NumRows(); r++ {
+		userV := log.Get(r, "User")
+		patV := log.Get(r, "Patient")
+		user := ds.UserByAudit(userV.AsInt())
+		if user == nil {
+			t.Fatalf("row %d: unknown user %v", r, userV)
+		}
+		cg := relation.Int(user.CaregiverID)
+		pair := [2]int64{userV.AsInt(), patV.AsInt()}
+
+		switch ds.Causes[r] {
+		case ehr.CauseTreatingDoctor:
+			// The clinician appears on a same-patient appointment, visit, or
+			// document.
+			ok := hasRow("Appointments", map[string]relation.Value{"Patient": patV, "Doctor": cg}) ||
+				hasRow("Visits", map[string]relation.Value{"Patient": patV, "Doctor": cg}) ||
+				hasRow("Documents", map[string]relation.Value{"Patient": patV, "Author": cg})
+			if !ok {
+				t.Errorf("row %d: treating-doctor cause with no witnessing event", r)
+			}
+		case ehr.CauseFulfiller:
+			ok := hasRow("Labs", map[string]relation.Value{"Patient": patV, "PerformedBy": userV}) ||
+				hasRow("Medications", map[string]relation.Value{"Patient": patV, "SignedBy": userV}) ||
+				hasRow("Medications", map[string]relation.Value{"Patient": patV, "AdministeredBy": userV}) ||
+				hasRow("Radiology", map[string]relation.Value{"Patient": patV, "ReadBy": userV})
+			if !ok {
+				t.Errorf("row %d: fulfiller cause with no witnessing order", r)
+			}
+		case ehr.CauseTeam:
+			// The user shares a care team with a doctor who has an event
+			// with this patient.
+			if user.Team < 0 {
+				t.Errorf("row %d: team cause for teamless user %s", r, user.Name)
+				continue
+			}
+			ok := false
+			for _, mi := range ds.Teams[user.Team].Members {
+				m := ds.Users[mi]
+				if m.Role != ehr.RoleDoctor {
+					continue
+				}
+				mcg := relation.Int(m.CaregiverID)
+				if hasRow("Appointments", map[string]relation.Value{"Patient": patV, "Doctor": mcg}) ||
+					hasRow("Visits", map[string]relation.Value{"Patient": patV, "Doctor": mcg}) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("row %d: team cause with no teammate event", r)
+			}
+		case ehr.CauseRepeat:
+			if !seenPairs[pair] {
+				t.Errorf("row %d: repeat cause but first occurrence of pair %v", r, pair)
+			}
+		}
+		seenPairs[pair] = true
+	}
+}
+
+// TestFirstOccurrenceNeverLabeledRepeat is the converse direction: the
+// first row of every pair must not carry the repeat cause.
+func TestFirstOccurrenceNeverLabeledRepeat(t *testing.T) {
+	ds := ehr.Generate(ehr.Tiny())
+	log := ds.Log()
+	seen := make(map[[2]int64]bool)
+	for r := 0; r < log.NumRows(); r++ {
+		pair := [2]int64{log.Get(r, "User").AsInt(), log.Get(r, "Patient").AsInt()}
+		if !seen[pair] && ds.Causes[r] == ehr.CauseRepeat {
+			t.Errorf("row %d: first occurrence labeled repeat", r)
+		}
+		seen[pair] = true
+	}
+}
+
+// TestEventlessAccessesTargetEventlessPatients: rows labeled CauseNone must
+// reference patients with no rows in any event table.
+func TestEventlessAccessesTargetEventlessPatients(t *testing.T) {
+	ds := ehr.Generate(ehr.Tiny())
+	log := ds.Log()
+	eventTables := []string{"Appointments", "Visits", "Documents", "Labs", "Medications", "Radiology"}
+	for r := 0; r < log.NumRows(); r++ {
+		if ds.Causes[r] != ehr.CauseNone {
+			continue
+		}
+		patV := log.Get(r, "Patient")
+		for _, tb := range eventTables {
+			if len(ds.DB.MustTable(tb).Index("Patient")[patV]) > 0 {
+				t.Errorf("row %d: none-cause access to patient %v with %s rows", r, patV, tb)
+			}
+		}
+	}
+}

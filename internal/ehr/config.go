@@ -1,0 +1,149 @@
+// Package ehr generates a synthetic hospital database shaped like the
+// CareWeb extract used in the paper's evaluation (§5.2): a 7-day access log
+// plus the event tables of data set A (Appointments, Visits, Documents) and
+// data set B (Labs, Medications, Radiology), department codes, and the
+// caregiver/audit id mapping table. Every generated access carries a
+// ground-truth cause label, which is exposed to metric code only — the
+// mining and explanation pipelines never see it.
+//
+// The generator reproduces the structural properties the paper's results
+// depend on (DESIGN.md §2): almost every access traces back to a recorded
+// clinical event; appointments, visits, and documents name only the treating
+// clinician, so team members' accesses are unexplained until collaborative
+// groups are added; user-patient density is low, so uniformly random fake
+// accesses are rarely spuriously explained; and consultation services
+// (radiology, pathology, pharmacy) appear in data set B order tables rather
+// than in appointments.
+package ehr
+
+// Config controls the scale and behaviour of the synthetic hospital. Use
+// one of the preset constructors and tweak fields as needed; all
+// probabilities are in [0, 1].
+type Config struct {
+	Seed int64
+	// Days is the number of simulated days (the paper's log covers one
+	// week).
+	Days int
+
+	// Population.
+	ClinicalDepts  int // number of clinical departments
+	TeamsPerDept   int // care teams per clinical department
+	DoctorsPerTeam int
+	NursesPerTeam  int
+	Radiologists   int
+	LabTechs       int
+	Pharmacists    int
+	MedStudents    int // rotate through clinical teams
+	Floaters       int // vascular access / anesthesiology style staff
+	RecordsStaff   int // health information management staff
+	Patients       int
+	VIPPatients    int // high-profile patients targeted by snooping
+
+	// Event volumes over the whole simulated period.
+	Appointments int
+	Visits       int
+	// StandaloneDocuments are documents not tied to an appointment
+	// (appointments also produce documents at DocumentRate).
+	StandaloneDocuments int
+
+	// Per-appointment event rates.
+	DocumentRate   float64 // appointment produces a document by the doctor
+	LabRate        float64 // appointment produces a lab order
+	MedicationRate float64 // appointment produces a medication order
+	RadiologyRate  float64 // appointment produces a radiology order
+
+	// Access behaviour.
+	PDoctorAccess      float64 // treating doctor opens the chart
+	PNurseAccess       float64 // each team nurse opens the chart
+	PStudentAccess     float64 // rotating student on the team opens the chart
+	PFulfillerAccess   float64 // order fulfiller (tech/pharmacist/radiologist) opens the chart
+	PAdministerAccess  float64 // medication-administering nurse opens the chart
+	MeanRepeatAccesses float64 // mean number of later re-accesses per (user, patient) pair
+	FloaterAccessesDay int     // per floater per day, accesses to patients with same-day events
+	EventlessAccesses  int     // total accesses to patients with no recorded events
+	SnoopAccesses      int     // total snooping accesses to VIP records
+	HomeTeamBias       float64 // probability an appointment stays with the patient's home team
+}
+
+// Tiny returns a configuration small enough for unit tests (runs in
+// milliseconds).
+func Tiny() Config {
+	c := Small()
+	c.ClinicalDepts = 4
+	c.TeamsPerDept = 1
+	c.Patients = 240
+	c.VIPPatients = 2
+	c.Appointments = 110
+	c.Visits = 8
+	c.StandaloneDocuments = 30
+	c.MedStudents = 3
+	c.Floaters = 3
+	c.RecordsStaff = 2
+	c.Radiologists = 3
+	c.LabTechs = 3
+	c.Pharmacists = 3
+	c.EventlessAccesses = 24
+	c.SnoopAccesses = 4
+	return c
+}
+
+// Small is the default configuration: roughly 1/50 of the CareWeb extract,
+// preserving its per-patient event and access ratios. It generates on the
+// order of 2,400 patients, ~170 users, ~1,000 appointments, and ~50,000
+// accesses.
+func Small() Config {
+	return Config{
+		Seed:                1,
+		Days:                7,
+		ClinicalDepts:       10,
+		TeamsPerDept:        2,
+		DoctorsPerTeam:      2,
+		NursesPerTeam:       4,
+		Radiologists:        8,
+		LabTechs:            8,
+		Pharmacists:         8,
+		MedStudents:         10,
+		Floaters:            8,
+		RecordsStaff:        6,
+		Patients:            2400,
+		VIPPatients:         5,
+		Appointments:        1000,
+		Visits:              60,
+		StandaloneDocuments: 450,
+		DocumentRate:        0.65,
+		LabRate:             0.40,
+		MedicationRate:      0.85,
+		RadiologyRate:       0.18,
+		PDoctorAccess:       0.95,
+		PNurseAccess:        0.55,
+		PStudentAccess:      0.30,
+		PFulfillerAccess:    0.90,
+		PAdministerAccess:   0.80,
+		MeanRepeatAccesses:  4.0,
+		FloaterAccessesDay:  10,
+		EventlessAccesses:   260,
+		SnoopAccesses:       8,
+		HomeTeamBias:        0.90,
+	}
+}
+
+// Medium returns a configuration roughly 4x Small, for longer benchmark
+// runs.
+func Medium() Config {
+	c := Small()
+	c.ClinicalDepts = 14
+	c.TeamsPerDept = 3
+	c.Patients = 9600
+	c.Appointments = 4000
+	c.Visits = 240
+	c.StandaloneDocuments = 1800
+	c.MedStudents = 24
+	c.Floaters = 16
+	c.RecordsStaff = 10
+	c.Radiologists = 16
+	c.LabTechs = 16
+	c.Pharmacists = 16
+	c.EventlessAccesses = 1000
+	c.SnoopAccesses = 20
+	return c
+}

@@ -1,0 +1,521 @@
+package ehr
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/accesslog"
+	"repro/internal/relation"
+)
+
+// Table and column names of the synthetic CareWeb schema. Data set A tables
+// identify users by caregiver id; the log and data set B tables identify
+// users by audit id; UserMapping translates between the two (§5.3.3).
+const (
+	TableAppointments = "Appointments"
+	TableVisits       = "Visits"
+	TableDocuments    = "Documents"
+	TableLabs         = "Labs"
+	TableMedications  = "Medications"
+	TableRadiology    = "Radiology"
+	TableDeptCodes    = "DeptCodes"
+	TableUserMapping  = "UserMapping"
+	TableGroups       = "Groups"
+)
+
+// access is one log row before Lid assignment.
+type access struct {
+	day     int
+	seq     int
+	user    int64 // audit id
+	patient int64
+	cause   Cause
+}
+
+// generator carries the mutable state of one Generate run.
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	ds  *Dataset
+
+	appointments *relation.Table
+	visits       *relation.Table
+	documents    *relation.Table
+	labs         *relation.Table
+	medications  *relation.Table
+	radiology    *relation.Table
+
+	accesses []access
+	seq      int
+
+	// patientHasEvent tracks patients with at least one event row.
+	patientHasEvent map[int64]bool
+	// eventPatientsByDay lists patients with an event on a given day, for
+	// floater targeting.
+	eventPatientsByDay [][]int64
+}
+
+// Generate builds a synthetic hospital dataset from cfg. Generation is
+// deterministic for a fixed configuration (including Seed).
+func Generate(cfg Config) *Dataset {
+	g := &generator{
+		cfg:                cfg,
+		rng:                rand.New(rand.NewSource(cfg.Seed)),
+		patientHasEvent:    make(map[int64]bool),
+		eventPatientsByDay: make([][]int64, cfg.Days),
+		ds:                 &Dataset{Config: cfg},
+	}
+	g.appointments = relation.NewTable(TableAppointments, "Patient", "Date", "Doctor")
+	g.visits = relation.NewTable(TableVisits, "Patient", "Date", "Doctor")
+	g.documents = relation.NewTable(TableDocuments, "Patient", "Date", "Author")
+	g.labs = relation.NewTable(TableLabs, "Patient", "Date", "OrderedBy", "PerformedBy")
+	g.medications = relation.NewTable(TableMedications, "Patient", "Date", "RequestedBy", "SignedBy", "AdministeredBy")
+	g.radiology = relation.NewTable(TableRadiology, "Patient", "Date", "OrderedBy", "ReadBy")
+
+	g.buildPopulation()
+	g.buildEvents()
+	g.buildRepeats()
+	g.buildFloaterAccesses()
+	g.buildEventlessAccesses()
+	g.buildSnoops()
+	g.assemble()
+	return g.ds
+}
+
+const (
+	auditIDBase     = 10000
+	caregiverIDBase = 50000
+	patientIDBase   = 1
+)
+
+func (g *generator) newUser(role Role, name, dept string, team int) int {
+	i := len(g.ds.Users)
+	g.ds.Users = append(g.ds.Users, User{
+		Index:       i,
+		AuditID:     int64(auditIDBase + i),
+		CaregiverID: int64(caregiverIDBase + i),
+		Name:        name,
+		Role:        role,
+		DeptCode:    dept,
+		Team:        team,
+	})
+	if team >= 0 {
+		g.ds.Teams[team].Members = append(g.ds.Teams[team].Members, i)
+	}
+	return i
+}
+
+func (g *generator) newTeam(dept string) int {
+	i := len(g.ds.Teams)
+	g.ds.Teams = append(g.ds.Teams, Team{Index: i, Dept: dept})
+	return i
+}
+
+func (g *generator) buildPopulation() {
+	cfg := g.cfg
+	nameIdx := 0
+	next := func() string { nameIdx++; return personName(nameIdx - 1) }
+
+	// Clinical departments and care teams.
+	var clinicalTeams []int
+	for d := 0; d < cfg.ClinicalDepts; d++ {
+		dept := clinicalDeptNames[d%len(clinicalDeptNames)]
+		for t := 0; t < cfg.TeamsPerDept; t++ {
+			team := g.newTeam(dept)
+			clinicalTeams = append(clinicalTeams, team)
+			for k := 0; k < cfg.DoctorsPerTeam; k++ {
+				g.newUser(RoleDoctor, "Dr. "+next(), doctorDeptCode(dept), team)
+			}
+			for k := 0; k < cfg.NursesPerTeam; k++ {
+				g.newUser(RoleNurse, "Nurse "+next(), nurseDeptCode(dept), team)
+			}
+		}
+	}
+
+	// Consultation services: one team each so that mined groups can pick up
+	// the paper's Cancer Center / Radiology / Pharmacy co-access structure.
+	radTeam := g.newTeam("Radiology")
+	for k := 0; k < cfg.Radiologists; k++ {
+		g.newUser(RoleRadiologist, "Dr. "+next(), radiologyDeptCode, radTeam)
+	}
+	pathTeam := g.newTeam("Pathology")
+	for k := 0; k < cfg.LabTechs; k++ {
+		g.newUser(RoleLabTech, next(), pathologyDeptCode, pathTeam)
+	}
+	pharmTeam := g.newTeam("Pharmacy")
+	for k := 0; k < cfg.Pharmacists; k++ {
+		g.newUser(RolePharmacist, next(), pharmacyDeptCode, pharmTeam)
+	}
+
+	// Medical students rotate: they join a clinical team for the week but
+	// keep the Medical Students department code (the paper's Figure 11
+	// observation).
+	for k := 0; k < cfg.MedStudents; k++ {
+		team := clinicalTeams[g.rng.Intn(len(clinicalTeams))]
+		g.newUser(RoleMedStudent, next(), studentsDeptCode, team)
+	}
+
+	// Floating staff and records staff belong to no care team.
+	for k := 0; k < cfg.Floaters; k++ {
+		code := floaterDeptCodes[k%len(floaterDeptCodes)]
+		g.newUser(RoleFloater, next(), code, -1)
+	}
+	for k := 0; k < cfg.RecordsStaff; k++ {
+		g.newUser(RoleRecords, next(), recordsDeptCode, -1)
+	}
+
+	// Patients, each with a home clinical team.
+	g.ds.Patients = make([]Patient, cfg.Patients)
+	for i := 0; i < cfg.Patients; i++ {
+		g.ds.Patients[i] = Patient{
+			Index:    i,
+			ID:       int64(patientIDBase + i),
+			Name:     personName(i),
+			HomeTeam: clinicalTeams[g.rng.Intn(len(clinicalTeams))],
+		}
+	}
+	for k := 0; k < cfg.VIPPatients && k < len(g.ds.Patients); k++ {
+		g.ds.Patients[g.rng.Intn(len(g.ds.Patients))].VIP = true
+	}
+}
+
+// teamMembers returns the user indices on team t with the given role.
+func (g *generator) teamMembers(t int, role Role) []int {
+	var out []int
+	for _, u := range g.ds.Teams[t].Members {
+		if g.ds.Users[u].Role == role {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (g *generator) pick(ids []int) int { return ids[g.rng.Intn(len(ids))] }
+
+func (g *generator) usersWithRole(role Role) []int {
+	var out []int
+	for i := range g.ds.Users {
+		if g.ds.Users[i].Role == role {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// record appends one access row for user index u and patient index p with
+// its natural cause. Repeat relabeling happens in assemble, after the log is
+// sorted into temporal order: whether an access is a repeat depends on the
+// final (day, seq) order, not on generation order.
+func (g *generator) record(day int, u int, p int, cause Cause) {
+	user := &g.ds.Users[u]
+	pat := &g.ds.Patients[p]
+	g.accesses = append(g.accesses, access{
+		day: day, seq: g.seq, user: user.AuditID, patient: pat.ID, cause: cause,
+	})
+	g.seq++
+}
+
+func (g *generator) markEvent(day int, p int) {
+	id := g.ds.Patients[p].ID
+	if !g.patientHasEvent[id] {
+		g.patientHasEvent[id] = true
+	}
+	g.eventPatientsByDay[day] = append(g.eventPatientsByDay[day], id)
+}
+
+// buildEvents generates appointments, visits, documents, and the data set B
+// order tables, together with the accesses they cause.
+func (g *generator) buildEvents() {
+	cfg := g.cfg
+	radiologists := g.usersWithRole(RoleRadiologist)
+	labTechs := g.usersWithRole(RoleLabTech)
+	pharmacists := g.usersWithRole(RolePharmacist)
+
+	// Appointments drive most of the activity.
+	for i := 0; i < cfg.Appointments; i++ {
+		day := g.rng.Intn(cfg.Days)
+		p := g.rng.Intn(len(g.ds.Patients))
+		pat := &g.ds.Patients[p]
+		team := pat.HomeTeam
+		if g.rng.Float64() > cfg.HomeTeamBias {
+			team = g.rng.Intn(len(g.ds.Teams))
+			for g.ds.Teams[team].Dept == "Radiology" || g.ds.Teams[team].Dept == "Pathology" || g.ds.Teams[team].Dept == "Pharmacy" {
+				team = g.rng.Intn(len(g.ds.Teams))
+			}
+		}
+		doctors := g.teamMembers(team, RoleDoctor)
+		if len(doctors) == 0 {
+			continue
+		}
+		doc := g.pick(doctors)
+		g.appointments.Append(
+			relation.Int(pat.ID), relation.Date(day), relation.Int(g.ds.Users[doc].CaregiverID))
+		g.markEvent(day, p)
+		g.eventAccesses(day, p, doc, team)
+
+		// Downstream documents and orders.
+		if g.rng.Float64() < cfg.DocumentRate {
+			g.documents.Append(
+				relation.Int(pat.ID), relation.Date(day), relation.Int(g.ds.Users[doc].CaregiverID))
+		}
+		if g.rng.Float64() < cfg.LabRate && len(labTechs) > 0 {
+			tech := g.pick(labTechs)
+			g.labs.Append(relation.Int(pat.ID), relation.Date(day),
+				relation.Int(g.ds.Users[doc].AuditID), relation.Int(g.ds.Users[tech].AuditID))
+			if g.rng.Float64() < cfg.PFulfillerAccess {
+				g.record(day, tech, p, CauseFulfiller)
+			}
+		}
+		if g.rng.Float64() < cfg.MedicationRate && len(pharmacists) > 0 {
+			ph := g.pick(pharmacists)
+			nurses := g.teamMembers(team, RoleNurse)
+			admin := doc
+			if len(nurses) > 0 {
+				admin = g.pick(nurses)
+			}
+			g.medications.Append(relation.Int(pat.ID), relation.Date(day),
+				relation.Int(g.ds.Users[doc].AuditID), relation.Int(g.ds.Users[ph].AuditID),
+				relation.Int(g.ds.Users[admin].AuditID))
+			if g.rng.Float64() < cfg.PFulfillerAccess {
+				g.record(day, ph, p, CauseFulfiller)
+			}
+			if g.rng.Float64() < cfg.PAdministerAccess {
+				g.record(day, admin, p, CauseFulfiller)
+			}
+		}
+		if g.rng.Float64() < cfg.RadiologyRate && len(radiologists) > 0 {
+			rad := g.pick(radiologists)
+			g.radiology.Append(relation.Int(pat.ID), relation.Date(day),
+				relation.Int(g.ds.Users[doc].AuditID), relation.Int(g.ds.Users[rad].AuditID))
+			if g.rng.Float64() < cfg.PFulfillerAccess {
+				g.record(day, rad, p, CauseFulfiller)
+			}
+		}
+	}
+
+	// Visits: rarer inpatient encounters.
+	for i := 0; i < cfg.Visits; i++ {
+		day := g.rng.Intn(cfg.Days)
+		p := g.rng.Intn(len(g.ds.Patients))
+		pat := &g.ds.Patients[p]
+		doctors := g.teamMembers(pat.HomeTeam, RoleDoctor)
+		if len(doctors) == 0 {
+			continue
+		}
+		doc := g.pick(doctors)
+		g.visits.Append(relation.Int(pat.ID), relation.Date(day), relation.Int(g.ds.Users[doc].CaregiverID))
+		g.markEvent(day, p)
+		g.eventAccesses(day, p, doc, pat.HomeTeam)
+	}
+
+	// Standalone documents (notes added outside an appointment).
+	for i := 0; i < cfg.StandaloneDocuments; i++ {
+		day := g.rng.Intn(cfg.Days)
+		p := g.rng.Intn(len(g.ds.Patients))
+		pat := &g.ds.Patients[p]
+		doctors := g.teamMembers(pat.HomeTeam, RoleDoctor)
+		if len(doctors) == 0 {
+			continue
+		}
+		doc := g.pick(doctors)
+		g.documents.Append(relation.Int(pat.ID), relation.Date(day), relation.Int(g.ds.Users[doc].CaregiverID))
+		g.markEvent(day, p)
+		if g.rng.Float64() < g.cfg.PDoctorAccess {
+			g.record(day, doc, p, CauseTreatingDoctor)
+		}
+	}
+}
+
+// eventAccesses emits the accesses surrounding one clinical encounter: the
+// treating doctor, the team's nurses, and any rotating student.
+func (g *generator) eventAccesses(day, p, doc, team int) {
+	cfg := g.cfg
+	if g.rng.Float64() < cfg.PDoctorAccess {
+		g.record(day, doc, p, CauseTreatingDoctor)
+	}
+	for _, n := range g.teamMembers(team, RoleNurse) {
+		if g.rng.Float64() < cfg.PNurseAccess {
+			g.record(day, n, p, CauseTeam)
+		}
+	}
+	for _, s := range g.teamMembers(team, RoleMedStudent) {
+		if g.rng.Float64() < cfg.PStudentAccess {
+			g.record(day, s, p, CauseTeam)
+		}
+	}
+}
+
+// buildRepeats schedules later re-accesses for pairs that already accessed:
+// the paper observes that a majority of all accesses are repeat accesses.
+func (g *generator) buildRepeats() {
+	type pa struct {
+		day  int
+		user int64
+		pat  int64
+	}
+	var firsts []pa
+	seen := make(map[[2]int64]bool)
+	for _, a := range g.accesses {
+		k := [2]int64{a.user, a.patient}
+		if !seen[k] {
+			seen[k] = true
+			firsts = append(firsts, pa{a.day, a.user, a.patient})
+		}
+	}
+	for _, f := range firsts {
+		if f.day >= g.cfg.Days-1 {
+			continue
+		}
+		// Poisson-ish count via repeated Bernoulli halving around the mean.
+		n := 0
+		mean := g.cfg.MeanRepeatAccesses
+		for mean > 0 {
+			if g.rng.Float64() < minf(mean, 1) {
+				n++
+			}
+			mean -= 1
+		}
+		for k := 0; k < n; k++ {
+			day := f.day + 1 + g.rng.Intn(g.cfg.Days-f.day-1)
+			g.accesses = append(g.accesses, access{
+				day: day, seq: g.seq, user: f.user, patient: f.pat, cause: CauseRepeat,
+			})
+			g.seq++
+		}
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// buildFloaterAccesses emits accesses by floating-service staff to patients
+// with same-day events; no order row records why, matching the paper's
+// unexplainable departments (§5.3.4).
+func (g *generator) buildFloaterAccesses() {
+	floaters := g.usersWithRole(RoleFloater)
+	for _, f := range floaters {
+		for day := 0; day < g.cfg.Days; day++ {
+			cands := g.eventPatientsByDay[day]
+			if len(cands) == 0 {
+				continue
+			}
+			for k := 0; k < g.cfg.FloaterAccessesDay; k++ {
+				pid := cands[g.rng.Intn(len(cands))]
+				g.record(day, f, patientIndex(pid), CauseFloater)
+			}
+		}
+	}
+}
+
+// patientIndex maps a patient id back to its slice index; ids are assigned
+// sequentially so this is O(1).
+func patientIndex(id int64) int { return int(id - patientIDBase) }
+
+// buildEventlessAccesses emits accesses to patients who have no events at
+// all, standing in for the paper's incomplete-extract residue (~3% of
+// accesses correspond to no recorded event).
+func (g *generator) buildEventlessAccesses() {
+	records := g.usersWithRole(RoleRecords)
+	if len(records) == 0 {
+		return
+	}
+	var eventless []int
+	for i := range g.ds.Patients {
+		if !g.patientHasEvent[g.ds.Patients[i].ID] {
+			eventless = append(eventless, i)
+		}
+	}
+	if len(eventless) == 0 {
+		return
+	}
+	for k := 0; k < g.cfg.EventlessAccesses; k++ {
+		day := g.rng.Intn(g.cfg.Days)
+		p := eventless[g.rng.Intn(len(eventless))]
+		u := g.pick(records)
+		g.record(day, u, p, CauseNone)
+	}
+}
+
+// buildSnoops emits inappropriate accesses to VIP records by users with no
+// clinical relationship to the patient.
+func (g *generator) buildSnoops() {
+	var vips []int
+	for i := range g.ds.Patients {
+		if g.ds.Patients[i].VIP {
+			vips = append(vips, i)
+		}
+	}
+	if len(vips) == 0 {
+		return
+	}
+	for k := 0; k < g.cfg.SnoopAccesses; k++ {
+		day := g.rng.Intn(g.cfg.Days)
+		p := vips[g.rng.Intn(len(vips))]
+		u := g.rng.Intn(len(g.ds.Users))
+		// Avoid users on the patient's home team so the snoop has no cover.
+		if g.ds.Users[u].Team == g.ds.Patients[p].HomeTeam {
+			u = (u + 1) % len(g.ds.Users)
+		}
+		g.record(day, u, p, CauseSnoop)
+	}
+}
+
+// assemble sorts accesses into Lid order and materializes the database.
+func (g *generator) assemble() {
+	sort.Slice(g.accesses, func(i, j int) bool {
+		if g.accesses[i].day != g.accesses[j].day {
+			return g.accesses[i].day < g.accesses[j].day
+		}
+		return g.accesses[i].seq < g.accesses[j].seq
+	})
+	log := accesslog.NewLogTable("Log")
+	g.ds.Causes = make([]Cause, len(g.accesses))
+	seen := make(map[[2]int64]bool, len(g.accesses))
+	for i, a := range g.accesses {
+		log.Append(relation.Int(int64(i+1)), relation.Date(a.day),
+			relation.Int(a.user), relation.Int(a.patient))
+		cause := a.cause
+		key := [2]int64{a.user, a.patient}
+		if seen[key] && cause != CauseSnoop {
+			cause = CauseRepeat
+		}
+		seen[key] = true
+		g.ds.Causes[i] = cause
+	}
+
+	dept := relation.NewTable(TableDeptCodes, "User", "Dept")
+	mapping := relation.NewTable(TableUserMapping, "AuditID", "CaregiverID")
+	for i := range g.ds.Users {
+		u := &g.ds.Users[i]
+		dept.Append(relation.Int(u.AuditID), relation.String(u.DeptCode))
+		mapping.Append(relation.Int(u.AuditID), relation.Int(u.CaregiverID))
+	}
+
+	db := relation.NewDatabase()
+	db.AddTable(log)
+	db.AddTable(g.appointments)
+	db.AddTable(g.visits)
+	db.AddTable(g.documents)
+	db.AddTable(g.labs)
+	db.AddTable(g.medications)
+	db.AddTable(g.radiology)
+	db.AddTable(dept)
+	db.AddTable(mapping)
+	g.ds.DB = db
+
+	g.ds.userByAudit = make(map[int64]*User, len(g.ds.Users))
+	g.ds.userByCaregiver = make(map[int64]*User, len(g.ds.Users))
+	for i := range g.ds.Users {
+		u := &g.ds.Users[i]
+		g.ds.userByAudit[u.AuditID] = u
+		g.ds.userByCaregiver[u.CaregiverID] = u
+	}
+	g.ds.patientByID = make(map[int64]*Patient, len(g.ds.Patients))
+	for i := range g.ds.Patients {
+		g.ds.patientByID[g.ds.Patients[i].ID] = &g.ds.Patients[i]
+	}
+}

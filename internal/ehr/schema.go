@@ -1,0 +1,138 @@
+package ehr
+
+import (
+	"repro/internal/pathmodel"
+	"repro/internal/schemagraph"
+)
+
+// GraphOptions selects which parts of the schema the edge catalog exposes to
+// mining, mirroring the staged evaluation of §5: data set A only, A+B, with
+// or without the collaborative Groups table, and with or without self-joins
+// on the log (which let mining rediscover the undecorated repeat-access
+// template).
+type GraphOptions struct {
+	// DatasetB includes the Labs, Medications, and Radiology tables.
+	DatasetB bool
+	// Groups includes the Groups(GroupDepth, GroupID, User) table produced
+	// by clustering, with the self-join on GroupID the paper uses.
+	Groups bool
+	// DeptSelfJoin allows the self-join on the department-code attribute.
+	DeptSelfJoin bool
+	// LogSelfJoins allows self-joins on Log.Patient and Log.User so that the
+	// length-2 repeat-access template is minable.
+	LogSelfJoins bool
+}
+
+// DefaultGraphOptions matches the paper's main mining configuration
+// (§5.3.3): data sets A and B, group information, and self-joins on the
+// group id and department code.
+func DefaultGraphOptions() GraphOptions {
+	return GraphOptions{DatasetB: true, Groups: true, DeptSelfJoin: true, LogSelfJoins: true}
+}
+
+// patientAttrs lists the patient-typed attributes per options.
+func patientAttrs(o GraphOptions) []schemagraph.Attr {
+	attrs := []schemagraph.Attr{
+		{Table: pathmodel.LogTable, Column: pathmodel.LogPatientColumn},
+		{Table: TableAppointments, Column: "Patient"},
+		{Table: TableVisits, Column: "Patient"},
+		{Table: TableDocuments, Column: "Patient"},
+	}
+	if o.DatasetB {
+		attrs = append(attrs,
+			schemagraph.Attr{Table: TableLabs, Column: "Patient"},
+			schemagraph.Attr{Table: TableMedications, Column: "Patient"},
+			schemagraph.Attr{Table: TableRadiology, Column: "Patient"},
+		)
+	}
+	return attrs
+}
+
+// auditUserAttrs lists the audit-id-typed user attributes per options.
+func auditUserAttrs(o GraphOptions) []schemagraph.Attr {
+	attrs := []schemagraph.Attr{
+		{Table: pathmodel.LogTable, Column: pathmodel.LogUserColumn},
+		{Table: TableDeptCodes, Column: "User"},
+	}
+	if o.DatasetB {
+		attrs = append(attrs,
+			schemagraph.Attr{Table: TableLabs, Column: "OrderedBy"},
+			schemagraph.Attr{Table: TableLabs, Column: "PerformedBy"},
+			schemagraph.Attr{Table: TableMedications, Column: "RequestedBy"},
+			schemagraph.Attr{Table: TableMedications, Column: "SignedBy"},
+			schemagraph.Attr{Table: TableMedications, Column: "AdministeredBy"},
+			schemagraph.Attr{Table: TableRadiology, Column: "OrderedBy"},
+			schemagraph.Attr{Table: TableRadiology, Column: "ReadBy"},
+		)
+	}
+	if o.Groups {
+		attrs = append(attrs, schemagraph.Attr{Table: TableGroups, Column: "User"})
+	}
+	return attrs
+}
+
+// caregiverUserAttrs lists the caregiver-id-typed user attributes (data set
+// A identifies users this way).
+func caregiverUserAttrs() []schemagraph.Attr {
+	return []schemagraph.Attr{
+		{Table: TableAppointments, Column: "Doctor"},
+		{Table: TableVisits, Column: "Doctor"},
+		{Table: TableDocuments, Column: "Author"},
+	}
+}
+
+// SchemaGraph builds the edge catalog for the synthetic CareWeb schema.
+// Within each value domain (patient ids, audit user ids, caregiver user
+// ids), every pair of attributes in *different* tables is joinable: pairs
+// involving the log are key/foreign-key relationships, and pairs between two
+// event tables are administrator-provided relationships (two foreign keys
+// referencing the same key). Audit and caregiver user attributes are
+// joinable through the UserMapping bridge, which counts for neither path
+// length nor the table budget T, matching the paper's treatment.
+func SchemaGraph(o GraphOptions) *schemagraph.Graph {
+	g := schemagraph.NewGraph()
+
+	connectDomain := func(attrs []schemagraph.Attr) {
+		for i := 0; i < len(attrs); i++ {
+			for j := i + 1; j < len(attrs); j++ {
+				a, b := attrs[i], attrs[j]
+				if a.Table == b.Table {
+					continue // intra-tuple moves are implicit, not join edges
+				}
+				kind := schemagraph.Admin
+				if a.Table == pathmodel.LogTable || b.Table == pathmodel.LogTable {
+					kind = schemagraph.KeyFK
+				}
+				g.AddRelationship(a, b, kind)
+			}
+		}
+	}
+
+	patients := patientAttrs(o)
+	audits := auditUserAttrs(o)
+	caregivers := caregiverUserAttrs()
+
+	connectDomain(patients)
+	connectDomain(audits)
+	connectDomain(caregivers)
+
+	// Cross-identifier relationships through the mapping table.
+	bridge := schemagraph.Bridge{Table: TableUserMapping, FromColumn: "AuditID", ToColumn: "CaregiverID"}
+	for _, a := range audits {
+		for _, c := range caregivers {
+			g.AddBridgedRelationship(a, c, schemagraph.KeyFK, bridge)
+		}
+	}
+
+	if o.Groups {
+		g.AllowSelfJoin(schemagraph.Attr{Table: TableGroups, Column: "GroupID"})
+	}
+	if o.DeptSelfJoin {
+		g.AllowSelfJoin(schemagraph.Attr{Table: TableDeptCodes, Column: "Dept"})
+	}
+	if o.LogSelfJoins {
+		g.AllowSelfJoin(schemagraph.Attr{Table: pathmodel.LogTable, Column: pathmodel.LogPatientColumn})
+		g.AllowSelfJoin(schemagraph.Attr{Table: pathmodel.LogTable, Column: pathmodel.LogUserColumn})
+	}
+	return g
+}

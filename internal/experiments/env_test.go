@@ -1,0 +1,170 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/pathmodel"
+)
+
+func TestPrepareSplitsLog(t *testing.T) {
+	e := env(t)
+	total := e.FullLog.NumRows()
+	if e.TrainLog.NumRows()+e.TestLog.NumRows() != total {
+		t.Errorf("train %d + test %d != full %d",
+			e.TrainLog.NumRows(), e.TestLog.NumRows(), total)
+	}
+	// Training window covers days 0..TrainEndDay only.
+	di, _ := e.TrainLog.ColumnIndex(pathmodel.LogDateColumn)
+	for r := 0; r < e.TrainLog.NumRows(); r++ {
+		if d := e.TrainLog.Row(r)[di].AsInt(); d > int64(e.Cfg.TrainEndDay) {
+			t.Fatalf("train log contains day %d", d)
+		}
+	}
+	di, _ = e.TestLog.ColumnIndex(pathmodel.LogDateColumn)
+	for r := 0; r < e.TestLog.NumRows(); r++ {
+		if d := e.TestLog.Row(r)[di].AsInt(); d != int64(e.Cfg.TrainEndDay+1) {
+			t.Fatalf("test log contains day %d", d)
+		}
+	}
+	if len(e.FirstAll) != total {
+		t.Errorf("FirstAll length %d != log %d", len(e.FirstAll), total)
+	}
+	if !e.DS.DB.HasTable("Groups") {
+		t.Error("Prepare did not install the Groups table")
+	}
+}
+
+func TestTestDayFirstAccesses(t *testing.T) {
+	e := env(t)
+	firsts := e.TestDayFirstAccesses()
+	di, _ := firsts.ColumnIndex(pathmodel.LogDateColumn)
+	testDay := int64(e.Cfg.TrainEndDay + 1)
+	for r := 0; r < firsts.NumRows(); r++ {
+		if firsts.Row(r)[di].AsInt() != testDay {
+			t.Fatalf("row %d not on test day", r)
+		}
+	}
+	if firsts.NumRows() == 0 {
+		t.Fatal("no day-7 first accesses")
+	}
+	if firsts.NumRows() >= e.TestLog.NumRows() {
+		t.Error("every test-day access is a first access; repeats missing")
+	}
+}
+
+func TestFakeForMatchesShape(t *testing.T) {
+	e := env(t)
+	real := e.TestDayFirstAccesses()
+	fake := e.FakeFor(real)
+	if fake.NumRows() != real.NumRows() {
+		t.Errorf("fake rows = %d, want %d", fake.NumRows(), real.NumRows())
+	}
+}
+
+func TestHistoricalAndMiningDB(t *testing.T) {
+	e := env(t)
+	hdb := e.HistoricalDB(nil)
+	if hdb.MustTable("Log").NumRows() != e.TrainLog.NumRows() {
+		t.Error("HistoricalDB log is not the training window")
+	}
+	gt := e.Hierarchy.TableAtDepth("Groups", 0)
+	hdb2 := e.HistoricalDB(gt)
+	if hdb2.MustTable("Groups") != gt {
+		t.Error("HistoricalDB did not install the provided Groups table")
+	}
+
+	mdb, audited := e.MiningDB()
+	if mdb.MustTable("Log").NumRows() != e.TrainLog.NumRows() {
+		t.Error("MiningDB log is not the training window")
+	}
+	if audited.NumRows() >= e.TrainLog.NumRows() {
+		t.Error("audited mining log should be first accesses only")
+	}
+}
+
+func TestBarFigureRender(t *testing.T) {
+	f := experiments.BarFigure{
+		Title: "demo",
+		Bars:  []experiments.Bar{{Label: "A", Value: 0.5}, {Label: "Long label", Value: 1.2}},
+	}
+	out := f.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "0.500") {
+		t.Errorf("render = %q", out)
+	}
+	// Values are clamped to the 40-char bar.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Count(line, "#") > 40 {
+			t.Errorf("bar overflow: %q", line)
+		}
+	}
+}
+
+func TestPRFigureRender(t *testing.T) {
+	f := experiments.PRFigure{
+		Title: "pr",
+		Rows:  []experiments.PRRow{{Label: "x", Precision: 0.9, Recall: 0.5, NormalizedRecall: 0.6}},
+	}
+	out := f.Render()
+	for _, want := range []string{"precision", "recall", "0.900", "0.500", "0.600"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMiningFigureRender(t *testing.T) {
+	f := experiments.MiningFigure{
+		Title:   "mine",
+		Lengths: []int{2, 3},
+		Series: []experiments.MiningSeries{{
+			Algorithm:  "one-way",
+			Cumulative: map[int]time.Duration{2: 5 * time.Millisecond},
+		}},
+	}
+	out := f.Render()
+	if !strings.Contains(out, "one-way") || !strings.Contains(out, "5ms") {
+		t.Errorf("render = %q", out)
+	}
+	// Missing lengths render as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing length not rendered as dash:\n%s", out)
+	}
+}
+
+func TestStabilityTableRender(t *testing.T) {
+	tab := experiments.StabilityTable{
+		Title:   "stab",
+		Periods: []string{"p1", "p2"},
+		Lengths: []int{2},
+		Counts:  map[int]map[string]int{2: {"p1": 11, "p2": 12}},
+		Common:  map[int]int{2: 11},
+	}
+	out := tab.Render()
+	for _, want := range []string{"p1", "p2", "common", "11", "12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeadlineRender(t *testing.T) {
+	e := env(t)
+	h := experiments.Headline(e)
+	out := h.Render()
+	for _, want := range []string{"day-7 accesses explained", "depth-0", "density", "repeat-access"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestGroupCompositionRender(t *testing.T) {
+	e := env(t)
+	out := experiments.Figure10_11(e, 2).Render()
+	if !strings.Contains(out, "members, dominant:") {
+		t.Errorf("render = %q", out)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one labeled value in a bar-chart figure.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarFigure is a rendered-as-text bar chart, matching one of the paper's
+// recall figures.
+type BarFigure struct {
+	Title string
+	Bars  []Bar
+}
+
+// Render prints the figure as aligned text with proportional bars.
+func (f BarFigure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	width := 0
+	for _, bar := range f.Bars {
+		if len(bar.Label) > width {
+			width = len(bar.Label)
+		}
+	}
+	for _, bar := range f.Bars {
+		n := int(bar.Value*40 + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		if n > 40 {
+			n = 40
+		}
+		fmt.Fprintf(&b, "  %-*s %5.3f %s\n", width, bar.Label, bar.Value, strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// PRRow is one precision/recall row in a predictive-power figure.
+type PRRow struct {
+	Label            string
+	Precision        float64
+	Recall           float64
+	NormalizedRecall float64
+}
+
+// PRFigure is a precision/recall table (Figures 12 and 14).
+type PRFigure struct {
+	Title string
+	Rows  []PRRow
+}
+
+// Render prints the figure as an aligned table.
+func (f PRFigure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	width := 0
+	for _, r := range f.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s %9s %7s %11s\n", width, "", "precision", "recall", "norm.recall")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-*s %9.3f %7.3f %11.3f\n", width, r.Label, r.Precision, r.Recall, r.NormalizedRecall)
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package explain_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accesslog"
+	"repro/internal/ehr"
+	"repro/internal/explain"
+	"repro/internal/groups"
+	"repro/internal/metrics"
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/schemagraph"
+)
+
+// TestDecoratedRepeatMatchesSpecialized differentially tests the generic
+// decorated repeat-access template against the specialized RepeatAccess
+// implementation over the full synthetic log.
+func TestDecoratedRepeatMatchesSpecialized(t *testing.T) {
+	_, ev := tinyEvaluator(t)
+	generic := explain.DecoratedRepeatAccess().Evaluate(ev)
+	special := explain.RepeatAccess{}.Evaluate(ev)
+	if len(generic) != len(special) {
+		t.Fatalf("mask lengths differ: %d vs %d", len(generic), len(special))
+	}
+	for i := range generic {
+		if generic[i] != special[i] {
+			t.Fatalf("row %d: decorated=%v specialized=%v", i, generic[i], special[i])
+		}
+	}
+}
+
+// TestDecoratedExplainsSubsetOfBase checks Definition 3's guarantee: a
+// decorated template explains a subset of its base simple template.
+func TestDecoratedExplainsSubsetOfBase(t *testing.T) {
+	_, ev := tinyEvaluator(t)
+	dec := explain.DepthRestrictedGroupTemplate("appt-group-d1", "Appointments", "an appointment", 1)
+	base := explain.GroupTemplate("appt-group", "Appointments", "an appointment")
+
+	dm := dec.Evaluate(ev)
+	bm := base.Evaluate(ev)
+	for i := range dm {
+		if dm[i] && !bm[i] {
+			t.Fatalf("row %d explained by decoration but not by base", i)
+		}
+	}
+	if metrics.Fraction(dm) > metrics.Fraction(bm) {
+		t.Error("decorated recall exceeds base recall")
+	}
+}
+
+// TestDepthRestrictionMatchesTableFiltering verifies that the decorated
+// depth restriction and physically filtering the Groups table to one depth
+// produce identical explanation masks — two routes to Figure 12.
+func TestDepthRestrictionMatchesTableFiltering(t *testing.T) {
+	ds := ehr.Generate(ehr.Tiny())
+	g := groups.BuildUserGraph(ds.Log())
+	h := groups.BuildHierarchy(g, 8)
+
+	for depth := 0; depth <= h.MaxDepth(); depth++ {
+		// Route 1: full hierarchy table + decorated depth restriction.
+		fullDB := accesslog.WithLog(ds.DB, ds.Log())
+		fullDB.AddTable(h.Table(ehr.TableGroups))
+		evFull := query.NewEvaluator(fullDB)
+		dec := explain.DepthRestrictedGroupTemplate("t", "Appointments", "an appointment", depth)
+		maskDec := dec.Evaluate(evFull)
+
+		// Route 2: per-depth table + plain group template.
+		depthDB := accesslog.WithLog(ds.DB, ds.Log())
+		depthDB.AddTable(h.TableAtDepth(ehr.TableGroups, depth))
+		evDepth := query.NewEvaluator(depthDB)
+		plain := explain.GroupTemplate("t", "Appointments", "an appointment")
+		maskTbl := plain.Evaluate(evDepth)
+
+		for i := range maskDec {
+			if maskDec[i] != maskTbl[i] {
+				t.Fatalf("depth %d row %d: decorated=%v filtered-table=%v",
+					depth, i, maskDec[i], maskTbl[i])
+			}
+		}
+	}
+}
+
+// TestDepthRestrictionControlsPrecision reproduces the §5.3.4 motivation in
+// miniature: deeper restrictions explain fewer accesses.
+func TestDepthRestrictionControlsPrecision(t *testing.T) {
+	_, ev := tinyEvaluator(t)
+	prev := -1.0
+	for depth := 0; depth <= 2; depth++ {
+		dec := explain.DepthRestrictedGroupTemplate("t", "Appointments", "an appointment", depth)
+		frac := metrics.Fraction(dec.Evaluate(ev))
+		if prev >= 0 && frac > prev+1e-12 {
+			t.Errorf("depth %d recall %.3f exceeds shallower depth's %.3f", depth, frac, prev)
+		}
+		prev = frac
+	}
+}
+
+func TestDecoratedTemplateSQLAndRender(t *testing.T) {
+	ds, ev := tinyEvaluator(t)
+	dec := explain.DepthRestrictedGroupTemplate("appt-group-d1", "Appointments", "an appointment", 1)
+
+	sql := dec.SQL()
+	for _, want := range []string{"Groups1.GroupDepth = 1", "Groups2.GroupDepth = 1", "COUNT(DISTINCT L.Lid)"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+	if dec.Length() != 4 {
+		t.Errorf("Length = %d", dec.Length())
+	}
+
+	mask := dec.Evaluate(ev)
+	for r, ok := range mask {
+		if !ok {
+			continue
+		}
+		texts := dec.Render(ev, r, 2, ds)
+		if len(texts) == 0 {
+			t.Fatalf("row %d explained but not rendered", r)
+		}
+		if !strings.Contains(texts[0], "depth-1 collaborative group") {
+			t.Errorf("rendered text = %q", texts[0])
+		}
+		return
+	}
+	t.Skip("depth-1 template explains nothing in this tiny instance")
+}
+
+func TestDecorationOperators(t *testing.T) {
+	// Hand-built two-row log over one patient: a strict inequality
+	// decoration on Lid distinguishes first from repeat.
+	log := accesslog.NewLogTable("Log")
+	log.Append(relation.Int(1), relation.Date(0), relation.Int(10), relation.Int(1))
+	log.Append(relation.Int(2), relation.Date(0), relation.Int(10), relation.Int(1))
+	db := relation.NewDatabase()
+	db.AddTable(log)
+	ev := query.NewEvaluator(db)
+
+	selfEdge := func(a schemagraph.Attr) schemagraph.Edge {
+		return schemagraph.Edge{From: a, To: a, Kind: schemagraph.SelfJoin}
+	}
+	base, ok := pathmodel.Start(selfEdge(pathmodel.StartAttr()))
+	if !ok {
+		t.Fatal("start failed")
+	}
+	base, ok = base.Append(selfEdge(pathmodel.EndAttr()))
+	if !ok {
+		t.Fatal("append failed")
+	}
+
+	ref0 := pathmodel.Ref{Inst: 0, Col: pathmodel.LogIDColumn}
+	ref1 := pathmodel.Ref{Inst: 1, Col: pathmodel.LogIDColumn}
+	cases := []struct {
+		op   pathmodel.CompareOp
+		want []bool // which of the two audited rows have a witness Log2 row
+	}{
+		{pathmodel.OpLT, []bool{false, true}}, // Log2.Lid < L.Lid
+		{pathmodel.OpLE, []bool{true, true}},
+		{pathmodel.OpEQ, []bool{true, true}}, // self-match allowed
+		{pathmodel.OpGE, []bool{true, true}},
+		{pathmodel.OpGT, []bool{true, false}},
+	}
+	for _, c := range cases {
+		dp := pathmodel.NewDecoratedPath(base, pathmodel.Decoration{Left: ref1, Op: c.op, Right: ref0})
+		got := ev.ExplainedRowsDecorated(dp)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("op %v row %d: got %v, want %v", c.op, i, got[i], c.want[i])
+			}
+		}
+	}
+}

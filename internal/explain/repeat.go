@@ -1,0 +1,90 @@
+package explain
+
+import (
+	"fmt"
+
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// RepeatAccess is the decorated repeat-access template of §2.1: the access
+// is explained because the same user previously accessed the same patient's
+// record. The temporal condition L1.Date > L2.Date cannot be expressed as a
+// simple path (Definition 3), so this template is evaluated directly rather
+// than through the path machinery.
+type RepeatAccess struct{}
+
+// Name implements Template.
+func (RepeatAccess) Name() string { return "repeat-access" }
+
+// Length implements Template. The underlying simple path has two joins.
+func (RepeatAccess) Length() int { return 2 }
+
+// SQL implements Template, rendering the decorated query of §2.1.
+func (RepeatAccess) SQL() string {
+	return "SELECT L1.Lid, L1.Patient, L1.User\n" +
+		"FROM Log L1, Log L2\n" +
+		"WHERE L1.Patient = L2.Patient\n" +
+		"  AND L2.User = L1.User\n" +
+		"  AND L1.Date > L2.Date"
+}
+
+// Evaluate implements Template: an audited row is explained when the
+// database's Log records a strictly earlier access by the same
+// (user, patient) pair. "Earlier" orders by (Date, Lid), so a same-day
+// re-access with a later Lid counts as a repeat, matching an append-only log
+// whose ids increase over time. The history comes from the evaluator's
+// *database* log, so test accesses audited against a historical log (the
+// §5.3.4 protocol) never match themselves.
+func (RepeatAccess) Evaluate(ev *query.Evaluator) []bool {
+	history := ev.Database().MustTable(pathmodel.LogTable)
+	audited := ev.Log()
+	type pair struct{ u, p relation.Value }
+	type stamp struct{ date, lid int64 }
+	earliest := make(map[pair]stamp)
+
+	readCols := func(t *relation.Table) (di, ui, pi, li int) {
+		di, _ = t.ColumnIndex(pathmodel.LogDateColumn)
+		ui, _ = t.ColumnIndex(pathmodel.LogUserColumn)
+		pi, _ = t.ColumnIndex(pathmodel.LogPatientColumn)
+		li, _ = t.ColumnIndex(pathmodel.LogIDColumn)
+		return
+	}
+
+	hdi, hui, hpi, hli := readCols(history)
+	for r := 0; r < history.NumRows(); r++ {
+		row := history.Row(r)
+		k := pair{row[hui], row[hpi]}
+		s := stamp{row[hdi].AsInt(), row[hli].AsInt()}
+		if cur, ok := earliest[k]; !ok || s.date < cur.date || (s.date == cur.date && s.lid < cur.lid) {
+			earliest[k] = s
+		}
+	}
+	adi, aui, api, ali := readCols(audited)
+	out := make([]bool, audited.NumRows())
+	for r := 0; r < audited.NumRows(); r++ {
+		row := audited.Row(r)
+		k := pair{row[aui], row[api]}
+		first, ok := earliest[k]
+		if !ok {
+			continue
+		}
+		s := stamp{row[adi].AsInt(), row[ali].AsInt()}
+		out[r] = s.date > first.date || (s.date == first.date && s.lid > first.lid)
+	}
+	return out
+}
+
+// Render implements Template.
+func (RepeatAccess) Render(ev *query.Evaluator, logRow, limit int, n Namer) []string {
+	mask := RepeatAccess{}.Evaluate(ev)
+	if logRow < 0 || logRow >= len(mask) || !mask[logRow] {
+		return nil
+	}
+	log := ev.Log()
+	u := log.Get(logRow, pathmodel.LogUserColumn)
+	p := log.Get(logRow, pathmodel.LogPatientColumn)
+	return []string{fmt.Sprintf("%s previously accessed %s's record.",
+		n.UserName(u), n.PatientName(p))}
+}

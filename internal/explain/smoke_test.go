@@ -1,0 +1,73 @@
+package explain_test
+
+import (
+	"testing"
+
+	"repro/internal/accesslog"
+	"repro/internal/ehr"
+	"repro/internal/explain"
+	"repro/internal/groups"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// TestEndToEndTinyHospital exercises the whole substrate stack: generate a
+// tiny hospital, cluster groups, evaluate hand-crafted templates, and check
+// that the headline structural properties of the paper's data hold.
+func TestEndToEndTinyHospital(t *testing.T) {
+	ds := ehr.Generate(ehr.Tiny())
+	log := ds.Log()
+	if log.NumRows() == 0 {
+		t.Fatal("empty log")
+	}
+
+	// Cluster collaborative groups from the full log and install the table.
+	g := groups.BuildUserGraph(log)
+	h := groups.BuildHierarchy(g, 8)
+	ds.DB.AddTable(h.Table(ehr.TableGroups))
+
+	ev := query.NewEvaluator(ds.DB)
+	cat := explain.Handcrafted(true, true)
+
+	// Repeat accesses must explain a substantial share of all accesses.
+	repeat := metrics.Fraction(cat.RepeatAccess.Evaluate(ev))
+	if repeat < 0.3 {
+		t.Errorf("repeat-access fraction = %.3f, want >= 0.3", repeat)
+	}
+
+	// Events must cover most accesses (paper: ~97%).
+	var eventMasks [][]bool
+	for _, ind := range explain.Indicators(true) {
+		eventMasks = append(eventMasks, ev.ConnectedRows(ind.Path))
+	}
+	eventAll := metrics.Fraction(metrics.Union(eventMasks...))
+	if eventAll < 0.85 {
+		t.Errorf("event coverage = %.3f, want >= 0.85", eventAll)
+	}
+
+	// All templates combined must beat the direct w/Dr templates on first
+	// accesses by a wide margin: team members are only explained via groups.
+	firstDB := accesslog.WithLog(ds.DB, accesslog.FirstAccesses(log))
+	fev := query.NewEvaluator(firstDB)
+
+	var withDr [][]bool
+	for _, tm := range cat.SetAWithDr {
+		withDr = append(withDr, tm.Evaluate(fev))
+	}
+	drRecall := metrics.Fraction(metrics.Union(withDr...))
+
+	var all [][]bool
+	for _, tm := range cat.All() {
+		all = append(all, tm.Evaluate(fev))
+	}
+	allRecall := metrics.Fraction(metrics.Union(all...))
+
+	if drRecall >= allRecall {
+		t.Errorf("w/Dr recall %.3f >= all-template recall %.3f; groups add nothing", drRecall, allRecall)
+	}
+	if allRecall < 0.5 {
+		t.Errorf("all-template first-access recall = %.3f, want >= 0.5", allRecall)
+	}
+	t.Logf("all accesses: repeat=%.3f events=%.3f; first accesses: w/Dr=%.3f all=%.3f",
+		repeat, eventAll, drRecall, allRecall)
+}

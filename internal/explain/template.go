@@ -1,0 +1,209 @@
+// Package explain turns paths into usable explanation templates: named,
+// human-describable predicates over log rows that can also render the
+// natural-language explanation instances of §2.1 ("Alice had an appointment
+// with Dave on 1/1/2010"). It hosts the hand-crafted CareWeb template
+// catalog used throughout the paper's evaluation, including the decorated
+// repeat-access template whose temporal condition cannot be expressed as a
+// simple path.
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Template is one explanation template: it classifies every access in the
+// evaluator's log as explained or not, and renders natural-language
+// explanation instances for individual accesses.
+type Template interface {
+	// Name is a short stable identifier such as "appt-with-dr".
+	Name() string
+	// Length is the template's path length (number of joins); the paper
+	// ranks multiple explanations for one access by ascending length.
+	Length() int
+	// SQL renders the template as its support-counting query.
+	SQL() string
+	// Evaluate returns one boolean per log row: whether this template
+	// explains that access.
+	Evaluate(ev *query.Evaluator) []bool
+	// Render returns up to limit natural-language explanation instances for
+	// the given log row, or nil when the template does not explain it.
+	Render(ev *query.Evaluator, logRow, limit int, n Namer) []string
+}
+
+// Namer maps identifiers to display names so explanations read like the
+// paper's examples. NullNamer renders raw ids.
+type Namer interface {
+	PatientName(relation.Value) string
+	// UserName resolves an audit-id user value.
+	UserName(relation.Value) string
+	// CaregiverName resolves a caregiver-id user value.
+	CaregiverName(relation.Value) string
+}
+
+// NullNamer renders identifiers as-is.
+type NullNamer struct{}
+
+// PatientName implements Namer.
+func (NullNamer) PatientName(v relation.Value) string { return "patient " + v.String() }
+
+// UserName implements Namer.
+func (NullNamer) UserName(v relation.Value) string { return "user " + v.String() }
+
+// CaregiverName implements Namer.
+func (NullNamer) CaregiverName(v relation.Value) string { return "caregiver " + v.String() }
+
+// PathTemplate is a Template backed by a closed explanation path. Desc, when
+// non-empty, is a parameterized description string with [Alias.Column]
+// placeholders (Example 2.2); otherwise a generic rendering is produced from
+// the bound tuples.
+type PathTemplate struct {
+	TemplateName string
+	Path         pathmodel.Path
+	Desc         string
+}
+
+// NewPathTemplate wraps a closed path as a template. Backward paths are
+// reversed into forward orientation.
+func NewPathTemplate(name string, p pathmodel.Path, desc string) *PathTemplate {
+	if !p.Closed() {
+		panic("explain: NewPathTemplate requires a closed path")
+	}
+	if !p.Forward() {
+		p = p.Reverse()
+	}
+	return &PathTemplate{TemplateName: name, Path: p, Desc: desc}
+}
+
+// Name implements Template.
+func (t *PathTemplate) Name() string { return t.TemplateName }
+
+// Length implements Template.
+func (t *PathTemplate) Length() int { return t.Path.Length() }
+
+// SQL implements Template.
+func (t *PathTemplate) SQL() string { return t.Path.SQL() }
+
+// Evaluate implements Template.
+func (t *PathTemplate) Evaluate(ev *query.Evaluator) []bool {
+	return ev.ExplainedRows(t.Path)
+}
+
+// Render implements Template.
+func (t *PathTemplate) Render(ev *query.Evaluator, logRow, limit int, n Namer) []string {
+	bindings := ev.Instances(t.Path, logRow, limit)
+	out := make([]string, 0, len(bindings))
+	for _, b := range bindings {
+		if t.Desc != "" {
+			out = append(out, renderDesc(t.Desc, t.Path, ev, logRow, b, n))
+		} else {
+			out = append(out, renderGeneric(t.Path, ev, logRow, b, n))
+		}
+	}
+	return out
+}
+
+// lookupValue resolves an [Alias.Column] placeholder against the log row and
+// the bound instance rows.
+func lookupValue(alias, column string, p pathmodel.Path, ev *query.Evaluator, logRow int, b query.InstanceBinding) (relation.Value, bool) {
+	if alias == "L" {
+		return ev.Log().Get(logRow, column), true
+	}
+	insts := p.Instances()
+	seen := make(map[string]int)
+	for i := 1; i < len(insts); i++ {
+		seen[insts[i].Table]++
+		label := fmt.Sprintf("%s%d", insts[i].Table, seen[insts[i].Table])
+		if label != alias {
+			continue
+		}
+		tbl := ev.Database().MustTable(insts[i].Table)
+		if i-1 >= len(b.Rows) {
+			return relation.Null(), false
+		}
+		return tbl.Get(b.Rows[i-1], column), true
+	}
+	return relation.Null(), false
+}
+
+// renderDesc substitutes [Alias.Column] placeholders. A "|role" suffix
+// selects name resolution: [L.Patient|patient], [L.User|user],
+// [Appointments1.Doctor|caregiver]. Without a suffix the raw value is
+// rendered.
+func renderDesc(desc string, p pathmodel.Path, ev *query.Evaluator, logRow int, b query.InstanceBinding, n Namer) string {
+	var out strings.Builder
+	rest := desc
+	for {
+		i := strings.IndexByte(rest, '[')
+		if i < 0 {
+			out.WriteString(rest)
+			return out.String()
+		}
+		j := strings.IndexByte(rest[i:], ']')
+		if j < 0 {
+			out.WriteString(rest)
+			return out.String()
+		}
+		out.WriteString(rest[:i])
+		token := rest[i+1 : i+j]
+		rest = rest[i+j+1:]
+
+		role := ""
+		if k := strings.IndexByte(token, '|'); k >= 0 {
+			role = token[k+1:]
+			token = token[:k]
+		}
+		dot := strings.IndexByte(token, '.')
+		if dot < 0 {
+			out.WriteString("[" + token + "]")
+			continue
+		}
+		v, ok := lookupValue(token[:dot], token[dot+1:], p, ev, logRow, b)
+		if !ok {
+			out.WriteString("[" + token + "?]")
+			continue
+		}
+		switch role {
+		case "patient":
+			out.WriteString(n.PatientName(v))
+		case "user":
+			out.WriteString(n.UserName(v))
+		case "caregiver":
+			out.WriteString(n.CaregiverName(v))
+		default:
+			out.WriteString(v.String())
+		}
+	}
+}
+
+// renderGeneric produces a readable fallback description by listing the
+// bound tuples along the path.
+func renderGeneric(p pathmodel.Path, ev *query.Evaluator, logRow int, b query.InstanceBinding, n Namer) string {
+	log := ev.Log()
+	patient := log.Get(logRow, pathmodel.LogPatientColumn)
+	user := log.Get(logRow, pathmodel.LogUserColumn)
+
+	var hops []string
+	insts := p.Instances()
+	seen := make(map[string]int)
+	for i := 1; i < len(insts); i++ {
+		seen[insts[i].Table]++
+		if i-1 >= len(b.Rows) {
+			break
+		}
+		tbl := ev.Database().MustTable(insts[i].Table)
+		row := tbl.Row(b.Rows[i-1])
+		cols := tbl.Columns()
+		fields := make([]string, len(cols))
+		for ci, c := range cols {
+			fields[ci] = c + "=" + row[ci].String()
+		}
+		hops = append(hops, fmt.Sprintf("%s%d(%s)", insts[i].Table, seen[insts[i].Table], strings.Join(fields, ", ")))
+	}
+	return fmt.Sprintf("%s is connected to %s via %s",
+		n.PatientName(patient), n.UserName(user), strings.Join(hops, " -> "))
+}

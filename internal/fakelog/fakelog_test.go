@@ -1,0 +1,113 @@
+package fakelog_test
+
+import (
+	"testing"
+
+	"repro/internal/accesslog"
+	"repro/internal/fakelog"
+	"repro/internal/relation"
+)
+
+func realLog() *relation.Table {
+	t := accesslog.NewLogTable("Log")
+	for i := 0; i < 50; i++ {
+		t.Append(relation.Int(int64(i+1)), relation.Date(i%7), relation.Int(10), relation.Int(1))
+	}
+	return t
+}
+
+func populations() (users, patients []relation.Value) {
+	for u := int64(10); u < 20; u++ {
+		users = append(users, relation.Int(u))
+	}
+	for p := int64(1); p <= 30; p++ {
+		patients = append(patients, relation.Int(p))
+	}
+	return
+}
+
+func TestGenerateMatchesSizeAndDates(t *testing.T) {
+	real := realLog()
+	users, patients := populations()
+	fake := fakelog.Generate(real, users, patients, 1, 1000)
+
+	if fake.NumRows() != real.NumRows() {
+		t.Fatalf("fake rows = %d, want %d", fake.NumRows(), real.NumRows())
+	}
+	for r := 0; r < fake.NumRows(); r++ {
+		if fake.Get(r, "Date") != real.Get(r, "Date") {
+			t.Fatalf("row %d date mismatch", r)
+		}
+	}
+}
+
+func TestGenerateLidsContinueFromBase(t *testing.T) {
+	real := realLog()
+	users, patients := populations()
+	fake := fakelog.Generate(real, users, patients, 1, 1000)
+	seen := make(map[int64]bool)
+	for r := 0; r < fake.NumRows(); r++ {
+		lid := fake.Get(r, "Lid").AsInt()
+		if lid <= 1000 {
+			t.Fatalf("lid %d not above base", lid)
+		}
+		if seen[lid] {
+			t.Fatalf("duplicate lid %d", lid)
+		}
+		seen[lid] = true
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	real := realLog()
+	users, patients := populations()
+	a := fakelog.Generate(real, users, patients, 7, 0)
+	b := fakelog.Generate(real, users, patients, 7, 0)
+	c := fakelog.Generate(real, users, patients, 8, 0)
+	same, diff := true, false
+	for r := 0; r < a.NumRows(); r++ {
+		if a.Get(r, "User") != b.Get(r, "User") || a.Get(r, "Patient") != b.Get(r, "Patient") {
+			same = false
+		}
+		if a.Get(r, "User") != c.Get(r, "User") || a.Get(r, "Patient") != c.Get(r, "Patient") {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different logs")
+	}
+	if !diff {
+		t.Error("different seeds produced identical logs")
+	}
+}
+
+func TestGenerateSamplesFromPopulations(t *testing.T) {
+	real := realLog()
+	users, patients := populations()
+	fake := fakelog.Generate(real, users, patients, 3, 0)
+	uset := map[relation.Value]bool{}
+	for _, u := range users {
+		uset[u] = true
+	}
+	pset := map[relation.Value]bool{}
+	for _, p := range patients {
+		pset[p] = true
+	}
+	for r := 0; r < fake.NumRows(); r++ {
+		if !uset[fake.Get(r, "User")] {
+			t.Fatalf("row %d user outside population", r)
+		}
+		if !pset[fake.Get(r, "Patient")] {
+			t.Fatalf("row %d patient outside population", r)
+		}
+	}
+}
+
+func TestGeneratePanicsOnEmptyPopulation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fakelog.Generate(realLog(), nil, nil, 1, 0)
+}

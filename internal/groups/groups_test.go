@@ -1,0 +1,243 @@
+package groups_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/groups"
+	"repro/internal/relation"
+)
+
+// buildLog creates a log table from (user, patient) pairs.
+func buildLog(pairs [][2]int64) *relation.Table {
+	t := relation.NewTable("Log", "Lid", "Date", "User", "Patient")
+	for i, p := range pairs {
+		t.Append(relation.Int(int64(i+1)), relation.Date(0), relation.Int(p[0]), relation.Int(p[1]))
+	}
+	return t
+}
+
+// TestExample41Weights reproduces Example 4.1 of the paper: patients A-D
+// accessed by users 0-3 with A[i,j] = 1/(#users on patient i); the edge
+// weights W = A-transpose-A must match the figure (0.36, 0.47, 0.25, 0.11).
+func TestExample41Weights(t *testing.T) {
+	// Patient A: users 0,1,2; B: 0,2; C: 1,2; D: 2,3.
+	log := buildLog([][2]int64{
+		{0, 'A'}, {1, 'A'}, {2, 'A'},
+		{0, 'B'}, {2, 'B'},
+		{1, 'C'}, {2, 'C'},
+		{2, 'D'}, {3, 'D'},
+	})
+	g := groups.BuildUserGraph(log)
+	if g.NumUsers() != 4 {
+		t.Fatalf("NumUsers = %d, want 4", g.NumUsers())
+	}
+	idx := func(u int64) int { return g.UserIndex(relation.Int(u)) }
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 0.005 }
+
+	// W[0,1] = 1/9 (shared patient A only) = 0.11.
+	if w := g.Weight(idx(0), idx(1)); !approx(w, 1.0/9) {
+		t.Errorf("W[0,1] = %.4f, want 0.111", w)
+	}
+	// W[0,2] = 1/9 + 1/4 = 0.361 (patients A and B).
+	if w := g.Weight(idx(0), idx(2)); !approx(w, 1.0/9+1.0/4) {
+		t.Errorf("W[0,2] = %.4f, want 0.361", w)
+	}
+	// W[1,2] = 1/9 + 1/4 = 0.361 (patients A and C).
+	if w := g.Weight(idx(1), idx(2)); !approx(w, 1.0/9+1.0/4) {
+		t.Errorf("W[1,2] = %.4f, want 0.361", w)
+	}
+	// W[2,3] = 1/4 (patient D).
+	if w := g.Weight(idx(2), idx(3)); !approx(w, 0.25) {
+		t.Errorf("W[2,3] = %.4f, want 0.25", w)
+	}
+	// No shared patients: zero weight.
+	if w := g.Weight(idx(0), idx(3)); w != 0 {
+		t.Errorf("W[0,3] = %.4f, want 0", w)
+	}
+	// Symmetry.
+	if g.Weight(idx(1), idx(0)) != g.Weight(idx(0), idx(1)) {
+		t.Error("W not symmetric")
+	}
+	// Node weight = sum of incident edges.
+	want := g.Weight(idx(0), idx(1)) + g.Weight(idx(0), idx(2))
+	if got := g.NodeWeight(idx(0)); !approx(got, want) {
+		t.Errorf("NodeWeight(0) = %.4f, want %.4f", got, want)
+	}
+}
+
+// TestRepeatAccessesDoNotInflateWeights checks the paper's rule that only
+// whether a user accessed a record matters, not how many times.
+func TestRepeatAccessesDoNotInflateWeights(t *testing.T) {
+	once := buildLog([][2]int64{{0, 1}, {1, 1}})
+	many := buildLog([][2]int64{{0, 1}, {0, 1}, {0, 1}, {1, 1}, {1, 1}})
+	g1 := groups.BuildUserGraph(once)
+	g2 := groups.BuildUserGraph(many)
+	w1 := g1.Weight(g1.UserIndex(relation.Int(0)), g1.UserIndex(relation.Int(1)))
+	w2 := g2.Weight(g2.UserIndex(relation.Int(0)), g2.UserIndex(relation.Int(1)))
+	if w1 != w2 {
+		t.Errorf("weights differ with repeats: %.4f vs %.4f", w1, w2)
+	}
+}
+
+// twoCliquesLog builds a log where users {0..3} co-access one patient pool
+// and users {10..13} another: two obvious communities.
+func twoCliquesLog() *relation.Table {
+	var pairs [][2]int64
+	for p := int64(0); p < 12; p++ {
+		for u := int64(0); u < 4; u++ {
+			pairs = append(pairs, [2]int64{u, p})
+		}
+	}
+	for p := int64(100); p < 112; p++ {
+		for u := int64(10); u < 14; u++ {
+			pairs = append(pairs, [2]int64{u, p})
+		}
+	}
+	// One weak cross link.
+	pairs = append(pairs, [2]int64{0, 100})
+	return buildLog(pairs)
+}
+
+func TestClusterSeparatesCliques(t *testing.T) {
+	g := groups.BuildUserGraph(twoCliquesLog())
+	comm := groups.Cluster(g)
+
+	byUser := func(u int64) int { return comm[g.UserIndex(relation.Int(u))] }
+	for u := int64(1); u < 4; u++ {
+		if byUser(u) != byUser(0) {
+			t.Errorf("user %d not in user 0's community", u)
+		}
+	}
+	for u := int64(11); u < 14; u++ {
+		if byUser(u) != byUser(10) {
+			t.Errorf("user %d not in user 10's community", u)
+		}
+	}
+	if byUser(0) == byUser(10) {
+		t.Error("the two cliques were merged")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	log := twoCliquesLog()
+	a := groups.Cluster(groups.BuildUserGraph(log))
+	b := groups.Cluster(groups.BuildUserGraph(log))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clustering not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClusterEmptyAndSingleton(t *testing.T) {
+	empty := groups.BuildUserGraph(buildLog(nil))
+	if got := groups.Cluster(empty); len(got) != 0 {
+		t.Errorf("Cluster(empty) = %v", got)
+	}
+	single := groups.BuildUserGraph(buildLog([][2]int64{{5, 1}}))
+	if got := groups.Cluster(single); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Cluster(single) = %v", got)
+	}
+}
+
+func TestModularityPositiveForGoodSplit(t *testing.T) {
+	g := groups.BuildUserGraph(twoCliquesLog())
+	comm := groups.Cluster(g)
+	q := groups.Modularity(g, comm)
+	if q <= 0.2 {
+		t.Errorf("modularity of clique split = %.3f, want > 0.2", q)
+	}
+	// All-in-one has modularity <= the found split.
+	allOne := make([]int, g.NumUsers())
+	if q1 := groups.Modularity(g, allOne); q1 > q {
+		t.Errorf("all-in-one modularity %.3f exceeds split %.3f", q1, q)
+	}
+}
+
+func TestHierarchyInvariants(t *testing.T) {
+	g := groups.BuildUserGraph(twoCliquesLog())
+	h := groups.BuildHierarchy(g, 8)
+
+	if h.MaxDepth() < 1 {
+		t.Fatalf("MaxDepth = %d, want >= 1", h.MaxDepth())
+	}
+	// Depth 0: one group containing everyone.
+	if n := h.NumGroupsAt(0); n != 1 {
+		t.Errorf("NumGroupsAt(0) = %d", n)
+	}
+	// Every depth partitions all users.
+	for d := 0; d <= h.MaxDepth(); d++ {
+		total := 0
+		for _, members := range h.GroupsAt(d) {
+			total += len(members)
+		}
+		if total != g.NumUsers() {
+			t.Errorf("depth %d covers %d users, want %d", d, total, g.NumUsers())
+		}
+	}
+	// Refinement: users in the same group at depth d+1 share a group at
+	// depth d.
+	for d := 0; d+1 <= h.MaxDepth(); d++ {
+		parent := h.Assign[d]
+		child := h.Assign[d+1]
+		rep := make(map[int]int) // child group -> parent group
+		for i := range child {
+			if p, ok := rep[child[i]]; ok {
+				if parent[i] != p {
+					t.Errorf("depth %d group %d spans parent groups %d and %d",
+						d+1, child[i], p, parent[i])
+				}
+			} else {
+				rep[child[i]] = parent[i]
+			}
+		}
+	}
+	// Group ids are unique across depths (no accidental cross-depth joins).
+	seen := make(map[int]int)
+	for d := 0; d <= h.MaxDepth(); d++ {
+		for gid := range h.GroupsAt(d) {
+			if prev, ok := seen[gid]; ok && prev != d {
+				t.Errorf("group id %d reused across depths %d and %d", gid, prev, d)
+			}
+			seen[gid] = d
+		}
+	}
+}
+
+func TestHierarchyTables(t *testing.T) {
+	g := groups.BuildUserGraph(twoCliquesLog())
+	h := groups.BuildHierarchy(g, 8)
+
+	full := h.Table("Groups")
+	wantRows := g.NumUsers() * (h.MaxDepth() + 1)
+	if full.NumRows() != wantRows {
+		t.Errorf("full table rows = %d, want %d", full.NumRows(), wantRows)
+	}
+	for d := 0; d <= h.MaxDepth(); d++ {
+		td := h.TableAtDepth("Groups", d)
+		if td.NumRows() != g.NumUsers() {
+			t.Errorf("depth-%d table rows = %d, want %d", d, td.NumRows(), g.NumUsers())
+		}
+		for r := 0; r < td.NumRows(); r++ {
+			if got := td.Get(r, "GroupDepth").AsInt(); got != int64(d) {
+				t.Fatalf("depth-%d table contains depth %d", d, got)
+			}
+		}
+	}
+	// Overflow depth clamps to the deepest level.
+	over := h.TableAtDepth("Groups", h.MaxDepth()+5)
+	if over.NumRows() != g.NumUsers() {
+		t.Errorf("overflow-depth table rows = %d", over.NumRows())
+	}
+}
+
+func TestUserIndexUnknown(t *testing.T) {
+	g := groups.BuildUserGraph(buildLog([][2]int64{{1, 1}}))
+	if got := g.UserIndex(relation.Int(99)); got != -1 {
+		t.Errorf("UserIndex(unknown) = %d, want -1", got)
+	}
+}

@@ -1,0 +1,140 @@
+package groups
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Hierarchy is the result of recursively clustering the user graph: one
+// group assignment per depth. Depth 0 places every user in a single group
+// (the paper's naive baseline); depth d+1 refines depth d by re-clustering
+// each group's induced subgraph. Group ids are globally unique across the
+// whole hierarchy so that a plain equi-self-join on GroupID never matches
+// across depths.
+type Hierarchy struct {
+	// Users lists the user ids in node-index order.
+	Users []relation.Value
+	// Assign[d][i] is the group id of user i at depth d.
+	Assign [][]int
+
+	nextGroupID int
+}
+
+// MaxDepth returns the deepest level present (the paper reports an 8-level
+// hierarchy on CareWeb).
+func (h *Hierarchy) MaxDepth() int { return len(h.Assign) - 1 }
+
+// GroupsAt returns, for the given depth, a map from group id to the user
+// ids it contains.
+func (h *Hierarchy) GroupsAt(depth int) map[int][]relation.Value {
+	out := make(map[int][]relation.Value)
+	for i, g := range h.Assign[depth] {
+		out[g] = append(out[g], h.Users[i])
+	}
+	return out
+}
+
+// NumGroupsAt returns the number of groups at the given depth.
+func (h *Hierarchy) NumGroupsAt(depth int) int {
+	set := make(map[int]struct{})
+	for _, g := range h.Assign[depth] {
+		set[g] = struct{}{}
+	}
+	return len(set)
+}
+
+// BuildHierarchy clusters g recursively up to maxDepth levels below the
+// all-in-one root. Recursion into a group stops when clustering no longer
+// splits it (or it has fewer than two members); its assignment is then
+// carried down unchanged so every depth has a complete partition, keeping
+// the per-depth Groups tables well defined.
+func BuildHierarchy(g *UserGraph, maxDepth int) *Hierarchy {
+	n := g.NumUsers()
+	h := &Hierarchy{Users: append([]relation.Value(nil), g.Users...)}
+
+	root := make([]int, n)
+	h.nextGroupID = 1 // group 0 is the depth-0 universe
+	h.Assign = append(h.Assign, root)
+
+	// frontier maps each still-splittable group id to its member node
+	// indexes (in the full graph's numbering).
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	frontier := map[int][]int{0: all}
+
+	for depth := 1; depth <= maxDepth; depth++ {
+		prev := h.Assign[depth-1]
+		cur := append([]int(nil), prev...)
+		next := make(map[int][]int)
+
+		gids := make([]int, 0, len(frontier))
+		for gid := range frontier {
+			gids = append(gids, gid)
+		}
+		sort.Ints(gids)
+
+		split := false
+		for _, gid := range gids {
+			members := frontier[gid]
+			if len(members) < 2 {
+				continue
+			}
+			sub, back := g.induced(members)
+			comm := Cluster(sub)
+			k := 0
+			for _, c := range comm {
+				if c+1 > k {
+					k = c + 1
+				}
+			}
+			if k <= 1 {
+				continue // no split; this branch is done
+			}
+			split = true
+			ids := make([]int, k)
+			for c := 0; c < k; c++ {
+				ids[c] = h.nextGroupID
+				h.nextGroupID++
+			}
+			for si, c := range comm {
+				orig := back[si]
+				cur[orig] = ids[c]
+				next[ids[c]] = append(next[ids[c]], orig)
+			}
+		}
+		if !split {
+			break
+		}
+		h.Assign = append(h.Assign, cur)
+		frontier = next
+	}
+	return h
+}
+
+// Table materializes the Groups(GroupDepth, GroupID, User) table of §4.1
+// covering every depth of the hierarchy.
+func (h *Hierarchy) Table(name string) *relation.Table {
+	t := relation.NewTable(name, "GroupDepth", "GroupID", "User")
+	for d := range h.Assign {
+		for i, g := range h.Assign[d] {
+			t.Append(relation.Int(int64(d)), relation.Int(int64(g)), h.Users[i])
+		}
+	}
+	return t
+}
+
+// TableAtDepth materializes a Groups table restricted to a single depth,
+// used by the per-depth precision/recall sweep of Figure 12.
+func (h *Hierarchy) TableAtDepth(name string, depth int) *relation.Table {
+	t := relation.NewTable(name, "GroupDepth", "GroupID", "User")
+	if depth > h.MaxDepth() {
+		depth = h.MaxDepth()
+	}
+	for i, g := range h.Assign[depth] {
+		t.Append(relation.Int(int64(depth)), relation.Int(int64(g)), h.Users[i])
+	}
+	return t
+}

@@ -1,0 +1,211 @@
+package groups
+
+import "sort"
+
+// Cluster partitions the weighted graph by greedily maximizing Newman's
+// modularity Q = (1/2m) * sum_ij (A_ij - k_i*k_j/2m) * delta(c_i, c_j),
+// using the two-phase Louvain method: local moves to the best neighboring
+// community until no move improves Q, then aggregation of communities into
+// super-nodes, repeated until Q stops improving. Like the paper's algorithm
+// [21], it is parameter-free: the number of communities emerges from the
+// optimization. Node order is fixed, so results are deterministic.
+//
+// The returned slice assigns each node a community id in 0..k-1, with ids
+// renumbered densely in order of first appearance.
+func Cluster(g *UserGraph) []int {
+	n := g.NumUsers()
+	if n == 0 {
+		return nil
+	}
+	// Current community of each original node, tracked through aggregation
+	// rounds.
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i
+	}
+
+	work := g
+	// nodeOf[i] lists the original nodes represented by work-node i.
+	nodeOf := make([][]int, n)
+	for i := range nodeOf {
+		nodeOf[i] = []int{i}
+	}
+
+	for {
+		comm, improved := localMoves(work)
+		if !improved {
+			break
+		}
+		// Fold community assignment back onto original nodes.
+		for wi, c := range comm {
+			for _, orig := range nodeOf[wi] {
+				assign[orig] = c
+			}
+		}
+		agg, groupsOf := aggregate(work, comm)
+		if agg.NumUsers() == work.NumUsers() {
+			break
+		}
+		newNodeOf := make([][]int, agg.NumUsers())
+		for newIdx, members := range groupsOf {
+			for _, wi := range members {
+				newNodeOf[newIdx] = append(newNodeOf[newIdx], nodeOf[wi]...)
+			}
+		}
+		work = agg
+		nodeOf = newNodeOf
+	}
+
+	return renumber(assign)
+}
+
+// localMoves runs Louvain phase 1 on g: repeated passes moving each node to
+// the neighboring community with the highest positive modularity gain.
+// It returns the community of each node and whether any move happened.
+func localMoves(g *UserGraph) ([]int, bool) {
+	n := g.NumUsers()
+	comm := make([]int, n)
+	for i := range comm {
+		comm[i] = i
+	}
+
+	// Total edge weight m (each undirected edge counted once) and node
+	// strengths.
+	strength := make([]float64, n)
+	var m2 float64 // 2m
+	for i := 0; i < n; i++ {
+		strength[i] = g.NodeWeight(i)
+		m2 += strength[i]
+	}
+	if m2 == 0 {
+		return comm, false
+	}
+	// commTot[c] is the total strength of community c.
+	commTot := make([]float64, n)
+	copy(commTot, strength)
+
+	improvedEver := false
+	for pass := 0; pass < 64; pass++ { // bounded for safety; converges much sooner
+		moved := false
+		for i := 0; i < n; i++ {
+			ci := comm[i]
+			// Weight from i to each neighboring community.
+			toComm := make(map[int]float64)
+			for _, nb := range g.sortedNeighbors(i) {
+				toComm[comm[nb]] += g.Adj[i][nb]
+			}
+			// Remove i from its community.
+			commTot[ci] -= strength[i]
+			best, bestGain := ci, 0.0
+			// Deterministic order over candidate communities.
+			cands := make([]int, 0, len(toComm)+1)
+			for c := range toComm {
+				cands = append(cands, c)
+			}
+			sort.Ints(cands)
+			for _, c := range cands {
+				gain := toComm[c] - commTot[c]*strength[i]/m2
+				base := toComm[ci] - commTot[ci]*strength[i]/m2
+				if gain-base > bestGain+1e-12 {
+					bestGain = gain - base
+					best = c
+				}
+			}
+			commTot[best] += strength[i]
+			if best != ci {
+				comm[i] = best
+				moved = true
+				improvedEver = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return comm, improvedEver
+}
+
+// aggregate builds the community super-graph: one node per community, edge
+// weights summed (intra-community weight becomes a self-loop, which Louvain
+// accounts for through node strength). It returns the new graph and, per new
+// node, the member node indexes of the old graph.
+func aggregate(g *UserGraph, comm []int) (*UserGraph, [][]int) {
+	ids := renumber(comm)
+	k := 0
+	for _, c := range ids {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	members := make([][]int, k)
+	for i, c := range ids {
+		members[c] = append(members[c], i)
+	}
+	agg := &UserGraph{Adj: make([]map[int]float64, k)}
+	for i := 0; i < k; i++ {
+		agg.Adj[i] = make(map[int]float64)
+		agg.Users = append(agg.Users, g.Users[members[i][0]])
+	}
+	agg.indexOf = nil // aggregate graphs are internal; no id lookups needed
+	for i := range g.Adj {
+		for nb, w := range g.Adj[i] {
+			a, b := ids[i], ids[nb]
+			if a == b {
+				// Each undirected intra edge appears twice in Adj; keep the
+				// self-loop weight consistent by halving on one side.
+				agg.Adj[a][a] += w / 2
+				continue
+			}
+			agg.Adj[a][b] += w
+		}
+	}
+	return agg, members
+}
+
+// renumber maps arbitrary community labels to dense 0..k-1 labels in order
+// of first appearance.
+func renumber(comm []int) []int {
+	next := 0
+	remap := make(map[int]int)
+	out := make([]int, len(comm))
+	for i, c := range comm {
+		id, ok := remap[c]
+		if !ok {
+			id = next
+			remap[c] = id
+			next++
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// Modularity computes Newman's weighted modularity Q of the given
+// assignment on g, exposed for tests and ablation benchmarks.
+func Modularity(g *UserGraph, comm []int) float64 {
+	n := g.NumUsers()
+	var m2 float64
+	strength := make([]float64, n)
+	for i := 0; i < n; i++ {
+		strength[i] = g.NodeWeight(i)
+		m2 += strength[i]
+	}
+	if m2 == 0 {
+		return 0
+	}
+	var q float64
+	for i := 0; i < n; i++ {
+		for nb, w := range g.Adj[i] {
+			if comm[i] == comm[nb] {
+				q += w
+			}
+		}
+		// Self term: A_ii = 0 in our graphs, expected weight still applies.
+		for j := 0; j < n; j++ {
+			if comm[i] == comm[j] {
+				q -= strength[i] * strength[j] / m2
+			}
+		}
+	}
+	return q / m2
+}

@@ -1,0 +1,115 @@
+package groups_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/groups"
+	"repro/internal/relation"
+)
+
+// randomLog builds a random access log over small populations.
+func randomLog(r *rand.Rand) *relation.Table {
+	t := relation.NewTable("Log", "Lid", "Date", "User", "Patient")
+	n := r.Intn(120)
+	users := 2 + r.Intn(10)
+	patients := 2 + r.Intn(15)
+	for i := 0; i < n; i++ {
+		t.Append(relation.Int(int64(i+1)), relation.Date(r.Intn(7)),
+			relation.Int(int64(r.Intn(users))), relation.Int(int64(r.Intn(patients))))
+	}
+	return t
+}
+
+// TestUserGraphProperties: on random logs the similarity graph is
+// symmetric, has no self-loops, and every edge weight is positive and at
+// most 1/4 per shared patient (k >= 2 implies contribution <= 1/4).
+func TestUserGraphProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := groups.BuildUserGraph(randomLog(r))
+		for i := 0; i < g.NumUsers(); i++ {
+			for nb, w := range g.Adj[i] {
+				if nb == i {
+					return false // self-loop
+				}
+				if w <= 0 {
+					return false
+				}
+				if math.Abs(g.Adj[nb][i]-w) > 1e-12 {
+					return false // asymmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHierarchyPartitionProperty: on random logs every hierarchy level is a
+// partition that refines its parent, and depth 0 is the single universe
+// group.
+func TestHierarchyPartitionProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := groups.BuildUserGraph(randomLog(r))
+		if g.NumUsers() == 0 {
+			return true
+		}
+		h := groups.BuildHierarchy(g, 6)
+		if h.NumGroupsAt(0) != 1 {
+			return false
+		}
+		for d := 0; d <= h.MaxDepth(); d++ {
+			if len(h.Assign[d]) != g.NumUsers() {
+				return false
+			}
+		}
+		for d := 0; d+1 <= h.MaxDepth(); d++ {
+			parentOf := make(map[int]int)
+			for i, c := range h.Assign[d+1] {
+				p, ok := parentOf[c]
+				if ok && p != h.Assign[d][i] {
+					return false // child group spans two parents
+				}
+				parentOf[c] = h.Assign[d][i]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClusterCoversAllNodes: the assignment always labels every node with a
+// dense community id starting at 0.
+func TestClusterCoversAllNodes(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := groups.BuildUserGraph(randomLog(r))
+		comm := groups.Cluster(g)
+		if len(comm) != g.NumUsers() {
+			return false
+		}
+		seen := make(map[int]bool)
+		maxID := -1
+		for _, c := range comm {
+			if c < 0 {
+				return false
+			}
+			seen[c] = true
+			if c > maxID {
+				maxID = c
+			}
+		}
+		return len(seen) == maxID+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

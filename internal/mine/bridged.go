@@ -1,0 +1,187 @@
+package mine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/schemagraph"
+)
+
+// Bridged runs the bridged algorithm of §3.3.1 with half-length bridgeLen
+// (the paper's Bridge-l): a two-way expansion up to length bridgeLen, after
+// which candidate explanations of every greater length n are assembled by
+// connecting supported forward paths to supported backward paths that share
+// a bridge edge. For n <= 2*bridgeLen-1 the candidates come directly from
+// the mined halves; beyond that the middle edges are enumerated from the
+// schema, which is where the candidate space grows exponentially — the
+// trade-off Figure 13 quantifies. bridgeLen must be at least 2.
+func Bridged(ev *query.Evaluator, g *schemagraph.Graph, opt Options, bridgeLen int) Result {
+	if bridgeLen < 2 {
+		panic("mine: Bridged requires bridgeLen >= 2")
+	}
+	m := newMiner(ev, g, opt)
+	l := bridgeLen
+	if l > opt.MaxLength {
+		l = opt.MaxLength
+	}
+
+	// Phase 1: two-way expansion to length l, keeping per-length frontiers.
+	fwdByLen := make([][]pathmodel.Path, l+1)
+	bwdByLen := make([][]pathmodel.Path, l+1)
+	fwdByLen[1] = m.initialPaths(pathmodel.LogPatientColumn)
+	bwdByLen[1] = m.initialPaths(pathmodel.LogUserColumn)
+	m.markLength(1)
+	for length := 2; length <= l; length++ {
+		fwdByLen[length] = m.expandLevel(fwdByLen[length-1])
+		bwdByLen[length] = m.expandLevel(bwdByLen[length-1])
+		m.markLength(length)
+	}
+
+	// Index backward paths of each length by their bridge edge (the edge at
+	// their growing end), expressed in forward orientation.
+	bwdByBridge := make([]map[string][]pathmodel.Path, l+1)
+	for k := 2; k <= l; k++ {
+		idx := make(map[string][]pathmodel.Path)
+		for _, b := range bwdByLen[k] {
+			if b.Closed() {
+				continue
+			}
+			edges := b.Edges()
+			key := undirectedEdgeKey(edges[len(edges)-1])
+			idx[key] = append(idx[key], b)
+		}
+		bwdByBridge[k] = idx
+	}
+
+	// Phase 2: assemble candidates of lengths l+1..M.
+	seen := make(map[string]bool)
+	for n := l + 1; n <= opt.MaxLength; n++ {
+		k := n - l + 1
+		if k > l {
+			k = l
+		}
+		mid := n - l - k + 1 // number of schema edges enumerated in the middle
+
+		for _, f := range fwdByLen[l] {
+			if f.Closed() {
+				continue
+			}
+			m.extendAndBridge(f, mid, bwdByBridge[k], seen)
+		}
+		m.markLength(n)
+	}
+	return m.result()
+}
+
+// extendAndBridge grows f by exactly mid unchecked schema edges and then
+// attempts to fuse each result with every backward path sharing its final
+// edge. Fused candidates are support-tested through the usual admit path.
+func (m *miner) extendAndBridge(f pathmodel.Path, mid int, byBridge map[string][]pathmodel.Path, seen map[string]bool) {
+	if mid == 0 {
+		m.bridgeWith(f, byBridge, seen)
+		return
+	}
+	for _, e := range m.graph.EdgesFromTable(f.LastAttr().Table) {
+		cand, ok := m.appendEdge(f, e)
+		if !ok || cand.Closed() {
+			continue
+		}
+		if cand.NumTables() > m.opt.MaxTables {
+			continue
+		}
+		m.extendAndBridge(cand, mid-1, byBridge, seen)
+	}
+}
+
+// bridgeWith fuses the open forward path p with every backward path whose
+// bridge edge equals p's final edge, replaying the backward path's remaining
+// edges in reverse so the path-construction rules vet the fused candidate.
+func (m *miner) bridgeWith(p pathmodel.Path, byBridge map[string][]pathmodel.Path, seen map[string]bool) {
+	edges := p.Edges()
+	if len(edges) == 0 {
+		return
+	}
+	key := undirectedEdgeKey(edges[len(edges)-1])
+	for _, b := range byBridge[key] {
+		bEdges := b.Edges()
+		// The shared bridge edge must be identical (same attribute pair and
+		// bridge), not merely same-key-colliding.
+		if !sameUndirected(edges[len(edges)-1], bEdges[len(bEdges)-1]) {
+			continue
+		}
+		cand, ok := p, true
+		for i := len(bEdges) - 2; i >= 0 && ok; i-- {
+			cand, ok = m.appendEdge(cand, pathmodel.ReverseEdge(bEdges[i]))
+		}
+		if !ok || !cand.Closed() {
+			continue
+		}
+		if cand.NumTables() > m.opt.MaxTables || cand.Length() > m.opt.MaxLength {
+			continue
+		}
+		if seen[cand.Key()] {
+			continue
+		}
+		seen[cand.Key()] = true
+		m.admit(cand)
+	}
+}
+
+// undirectedEdgeKey renders an edge ignoring direction, so a forward edge
+// and the reversed traversal of the same relationship share a key.
+func undirectedEdgeKey(e schemagraph.Edge) string {
+	a, b := e.From.String(), e.To.String()
+	if b < a {
+		a, b = b, a
+	}
+	via := ""
+	if e.Via != nil {
+		via = "~" + e.Via.Table
+	}
+	return a + via + "=" + b
+}
+
+// sameUndirected reports whether two edges denote the same undirected
+// relationship (same attribute pair and same bridge table).
+func sameUndirected(a, b schemagraph.Edge) bool {
+	return undirectedEdgeKey(a) == undirectedEdgeKey(b)
+}
+
+// Algorithm names used by the experiment harness and CLI.
+const (
+	AlgoOneWay = "one-way"
+	AlgoTwoWay = "two-way"
+)
+
+// AlgoBridge returns the canonical name of the bridged algorithm with
+// half-length l (for example "bridge-2").
+func AlgoBridge(l int) string { return fmt.Sprintf("bridge-%d", l) }
+
+// Run dispatches a mining run by algorithm name: "one-way", "two-way", or
+// "bridge-N".
+func Run(algo string, ev *query.Evaluator, g *schemagraph.Graph, opt Options) (Result, error) {
+	switch algo {
+	case AlgoOneWay:
+		return OneWay(ev, g, opt), nil
+	case AlgoTwoWay:
+		return TwoWay(ev, g, opt), nil
+	}
+	var l int
+	if _, err := fmt.Sscanf(algo, "bridge-%d", &l); err == nil && l >= 2 {
+		return Bridged(ev, g, opt, l), nil
+	}
+	return Result{}, fmt.Errorf("mine: unknown algorithm %q", algo)
+}
+
+// Lengths returns the sorted set of lengths for which cumulative times were
+// recorded, for rendering Figure 13.
+func (s Stats) Lengths() []int {
+	out := make([]int, 0, len(s.CumulativeTime))
+	for l := range s.CumulativeTime {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,287 @@
+// Package mine implements Section 3 of the paper: discovering frequent
+// explanation templates from a database instance and its access log. Three
+// miners are provided — one-way (Algorithm 1), two-way, and bridged — all
+// returning the same template set but with different candidate-generation
+// costs, which the mining-performance experiment (Figure 13) compares.
+//
+// All miners share the optimizations of §3.2.1:
+//
+//   - support values are cached under a canonicalized selection-condition
+//     key, so a path reaching the same condition set by a different
+//     traversal order is never re-evaluated;
+//   - support queries use DISTINCT per-table projections (implemented inside
+//     the query evaluator);
+//   - non-selective open paths are passed directly to the next iteration
+//     when the optimizer estimate exceeds c times the support threshold,
+//     trading estimation error for skipped evaluations without ever
+//     discarding a path (explanations are always evaluated exactly).
+package mine
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/schemagraph"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// SupportFraction is the paper's s: a template must explain at least
+	// this fraction of the log. The absolute threshold is
+	// ceil(SupportFraction * |log|), with a minimum of 1.
+	SupportFraction float64
+	// MaxLength is M, the maximum number of join conditions (bridged
+	// mapping-table hops count as part of their edge, not separately).
+	MaxLength int
+	// MaxTables is T, the maximum number of distinct tables a path may
+	// reference (self-join pairs count once; bridge tables count zero).
+	MaxTables int
+
+	// CacheSupport enables the canonical-condition support cache.
+	CacheSupport bool
+	// SkipNonSelective enables the optimizer-estimate skip for open paths.
+	SkipNonSelective bool
+	// SkipConstant is the paper's c, compensating optimizer error. Only used
+	// when SkipNonSelective is set; a typical value is 10.
+	SkipConstant float64
+}
+
+// DefaultOptions returns the paper's main mining configuration: s = 1%,
+// M = 5, T = 3, all optimizations enabled with c = 10.
+func DefaultOptions() Options {
+	return Options{
+		SupportFraction:  0.01,
+		MaxLength:        5,
+		MaxTables:        3,
+		CacheSupport:     true,
+		SkipNonSelective: true,
+		SkipConstant:     10,
+	}
+}
+
+// Stats reports the work a mining run performed. CumulativeTime[L] is the
+// total elapsed time after finishing all candidates of length <= L, the
+// series plotted in Figure 13.
+type Stats struct {
+	CandidatesGenerated int
+	SupportQueries      int
+	CacheHits           int
+	Skipped             int
+	CumulativeTime      map[int]time.Duration
+	TemplatesByLength   map[int]int
+}
+
+// Result is the outcome of a mining run: the supported explanation
+// templates, all in forward orientation and de-duplicated by canonical
+// condition set, sorted by (length, canonical key).
+type Result struct {
+	Templates []pathmodel.Path
+	Stats     Stats
+}
+
+// miner carries shared state across one run.
+type miner struct {
+	ev      *query.Evaluator
+	graph   *schemagraph.Graph
+	opt     Options
+	minSupp int
+
+	cache map[string]int // canonical key -> support
+	stats Stats
+
+	// explanations found, keyed by canonical key.
+	found map[string]pathmodel.Path
+
+	start    time.Time
+	lastMark time.Duration
+}
+
+func newMiner(ev *query.Evaluator, g *schemagraph.Graph, opt Options) *miner {
+	n := ev.Log().NumRows()
+	minSupp := int(float64(n)*opt.SupportFraction + 0.999999)
+	if minSupp < 1 {
+		minSupp = 1
+	}
+	return &miner{
+		ev: ev, graph: g, opt: opt, minSupp: minSupp,
+		cache: make(map[string]int),
+		found: make(map[string]pathmodel.Path),
+		stats: Stats{
+			CumulativeTime:    make(map[int]time.Duration),
+			TemplatesByLength: make(map[int]int),
+		},
+		start: time.Now(),
+	}
+}
+
+// supportOf returns the exact support of a path, consulting and filling the
+// canonical-condition cache when enabled.
+func (m *miner) supportOf(p pathmodel.Path) int {
+	if !m.opt.CacheSupport {
+		m.stats.SupportQueries++
+		return m.ev.Support(p)
+	}
+	key := p.CanonicalKey()
+	if s, ok := m.cache[key]; ok {
+		m.stats.CacheHits++
+		return s
+	}
+	m.stats.SupportQueries++
+	s := m.ev.Support(p)
+	m.cache[key] = s
+	return s
+}
+
+// admit decides a candidate path's fate:
+//
+//	keep  — supported (or skipped as non-selective); extend next level
+//	found — path is a supported explanation template (recorded internally)
+func (m *miner) admit(p pathmodel.Path) (keep bool) {
+	m.stats.CandidatesGenerated++
+	if p.NumTables() > m.opt.MaxTables || p.Length() > m.opt.MaxLength {
+		return false
+	}
+	if !p.Closed() && m.opt.SkipNonSelective {
+		est := m.ev.EstimateSupport(p)
+		if float64(est) > float64(m.minSupp)*m.opt.SkipConstant {
+			m.stats.Skipped++
+			return true // pass through; never discarded, per §3.2.1
+		}
+	}
+	s := m.supportOf(p)
+	if s < m.minSupp {
+		return false
+	}
+	if p.Closed() {
+		m.recordExplanation(p)
+	}
+	return true
+}
+
+func (m *miner) recordExplanation(p pathmodel.Path) {
+	fwd := p
+	if !p.Forward() {
+		fwd = p.Reverse()
+	}
+	key := fwd.CanonicalKey()
+	if _, dup := m.found[key]; dup {
+		return
+	}
+	m.found[key] = fwd
+	m.stats.TemplatesByLength[fwd.Length()]++
+}
+
+// markLength records the cumulative elapsed time after finishing length L.
+func (m *miner) markLength(l int) {
+	m.lastMark = time.Since(m.start)
+	m.stats.CumulativeTime[l] = m.lastMark
+}
+
+func (m *miner) result() Result {
+	paths := make([]pathmodel.Path, 0, len(m.found))
+	keys := make([]string, 0, len(m.found))
+	for k := range m.found {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		paths = append(paths, m.found[k])
+	}
+	sort.SliceStable(paths, func(i, j int) bool { return paths[i].Length() < paths[j].Length() })
+	return Result{Templates: paths, Stats: m.stats}
+}
+
+// appendEdge extends p with e, additionally enforcing the administrator's
+// self-join policy: a table may appear twice on a path only if it has a
+// self-join-allowed attribute. Enforcing the policy here (rather than inside
+// the structural path model) keeps it identical for forward and backward
+// construction, which is what guarantees the miners agree.
+func (m *miner) appendEdge(p pathmodel.Path, e schemagraph.Edge) (pathmodel.Path, bool) {
+	cand, ok := p.Append(e)
+	if !ok {
+		return pathmodel.Path{}, false
+	}
+	if cand.InstancesOfTable(e.To.Table) == 2 && !m.graph.TableHasSelfJoin(e.To.Table) {
+		return pathmodel.Path{}, false
+	}
+	return cand, true
+}
+
+// expandLevel extends every open path in frontier by one connected edge,
+// admitting candidates, and returns the next frontier (including skipped
+// non-selective paths). Frontier entries are de-duplicated by exact key.
+func (m *miner) expandLevel(frontier []pathmodel.Path) []pathmodel.Path {
+	var next []pathmodel.Path
+	seen := make(map[string]bool)
+	for _, p := range frontier {
+		if p.Closed() {
+			continue
+		}
+		for _, e := range m.graph.EdgesFromTable(p.LastAttr().Table) {
+			cand, ok := m.appendEdge(p, e)
+			if !ok {
+				continue
+			}
+			if seen[cand.Key()] {
+				continue
+			}
+			seen[cand.Key()] = true
+			if m.admit(cand) {
+				next = append(next, cand)
+			}
+		}
+	}
+	return next
+}
+
+// initialPaths builds and admits the length-1 paths leaving the given log
+// column. Unlike Algorithm 1's pseudo-code, which defers the first support
+// check to length 2, the initial paths are support-checked too — the checks
+// are cheap (open-path evaluation is log-size bound) and monotonicity makes
+// the result identical.
+func (m *miner) initialPaths(startCol string) []pathmodel.Path {
+	attr := schemagraph.Attr{Table: pathmodel.LogTable, Column: startCol}
+	var out []pathmodel.Path
+	for _, e := range m.graph.EdgesFromAttr(attr) {
+		p, ok := pathmodel.StartAt(e, startCol)
+		if !ok {
+			continue
+		}
+		if m.admit(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OneWay runs Algorithm 1: bottom-up expansion from Log.Patient only.
+func OneWay(ev *query.Evaluator, g *schemagraph.Graph, opt Options) Result {
+	m := newMiner(ev, g, opt)
+	frontier := m.initialPaths(pathmodel.LogPatientColumn)
+	m.markLength(1)
+	for length := 2; length <= opt.MaxLength; length++ {
+		frontier = m.expandLevel(frontier)
+		m.markLength(length)
+	}
+	return m.result()
+}
+
+// TwoWay expands simultaneously from Log.Patient (rightward) and Log.User
+// (leftward). Both directions find the same closed templates (recorded once
+// via canonical keys); the point of the exercise is the candidate workload,
+// which Figure 13 measures. The backward frontier contributes the suffix
+// paths that Bridged reuses.
+func TwoWay(ev *query.Evaluator, g *schemagraph.Graph, opt Options) Result {
+	m := newMiner(ev, g, opt)
+	fwd := m.initialPaths(pathmodel.LogPatientColumn)
+	bwd := m.initialPaths(pathmodel.LogUserColumn)
+	m.markLength(1)
+	for length := 2; length <= opt.MaxLength; length++ {
+		fwd = m.expandLevel(fwd)
+		bwd = m.expandLevel(bwd)
+		m.markLength(length)
+	}
+	return m.result()
+}

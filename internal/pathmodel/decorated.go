@@ -1,0 +1,157 @@
+package pathmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// CompareOp is a comparison operator usable in a decoration condition
+// (Definition 1 allows theta in {<, <=, =, >=, >}).
+type CompareOp uint8
+
+// Comparison operators.
+const (
+	OpLT CompareOp = iota
+	OpLE
+	OpEQ
+	OpGE
+	OpGT
+)
+
+func (op CompareOp) String() string {
+	switch op {
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpEQ:
+		return "="
+	case OpGE:
+		return ">="
+	case OpGT:
+		return ">"
+	}
+	return fmt.Sprintf("CompareOp(%d)", op)
+}
+
+// Eval applies the operator to an ordered comparison result (-1, 0, +1).
+func (op CompareOp) Eval(cmp int) bool {
+	switch op {
+	case OpLT:
+		return cmp < 0
+	case OpLE:
+		return cmp <= 0
+	case OpEQ:
+		return cmp == 0
+	case OpGE:
+		return cmp >= 0
+	case OpGT:
+		return cmp > 0
+	}
+	return false
+}
+
+// Ref names one attribute of one path instance (0 is the audited log
+// tuple).
+type Ref struct {
+	Inst int
+	Col  string
+}
+
+// Decoration is one additional selection condition layered on a simple
+// path (Definition 3): either a comparison between two bound attributes, or
+// between a bound attribute and a constant (Const non-nil).
+type Decoration struct {
+	Left  Ref
+	Op    CompareOp
+	Right Ref
+	Const *relation.Value // when non-nil, Right is ignored
+}
+
+// MaxInst returns the largest instance index the decoration references.
+func (d Decoration) MaxInst() int {
+	if d.Const != nil {
+		return d.Left.Inst
+	}
+	if d.Right.Inst > d.Left.Inst {
+		return d.Right.Inst
+	}
+	return d.Left.Inst
+}
+
+// DecoratedPath is a simple explanation path with additional selection
+// conditions. Per Definition 3, a decorated template always explains a
+// subset of the accesses its base path explains.
+type DecoratedPath struct {
+	Base        Path
+	Decorations []Decoration
+}
+
+// NewDecoratedPath wraps a closed base path with decorations. It panics on
+// open or backward base paths, or on decorations referencing instances the
+// path does not have — decorated templates are curated, so these are
+// programming errors.
+func NewDecoratedPath(base Path, decorations ...Decoration) DecoratedPath {
+	if !base.Closed() {
+		panic("pathmodel: decorated path requires a closed base path")
+	}
+	if !base.Forward() {
+		base = base.Reverse()
+	}
+	for _, d := range decorations {
+		if d.MaxInst() >= len(base.Instances()) || d.Left.Inst < 0 ||
+			(d.Const == nil && d.Right.Inst < 0) {
+			panic(fmt.Sprintf("pathmodel: decoration %v references a missing instance", d))
+		}
+	}
+	return DecoratedPath{Base: base, Decorations: decorations}
+}
+
+// Length returns the base path's length; decorations add selectivity, not
+// joins.
+func (dp DecoratedPath) Length() int { return dp.Base.Length() }
+
+// refLabel renders a Ref using the base path's instance labels.
+func (dp DecoratedPath) refLabel(r Ref) string {
+	return dp.Base.instLabel(r.Inst) + "." + r.Col
+}
+
+// SQL renders the decorated support query: the base query plus the
+// decoration conditions.
+func (dp DecoratedPath) SQL() string {
+	sql := dp.Base.SQL()
+	var extra []string
+	for _, d := range dp.Decorations {
+		rhs := ""
+		if d.Const != nil {
+			rhs = d.Const.String()
+			if d.Const.Kind == relation.KindString {
+				rhs = "'" + rhs + "'"
+			}
+		} else {
+			rhs = dp.refLabel(d.Right)
+		}
+		extra = append(extra, fmt.Sprintf("%s %s %s", dp.refLabel(d.Left), d.Op, rhs))
+	}
+	if len(extra) == 0 {
+		return sql
+	}
+	return sql + "\n  AND " + strings.Join(extra, "\n  AND ")
+}
+
+// String returns a one-line rendering.
+func (dp DecoratedPath) String() string {
+	s := dp.Base.String()
+	for _, d := range dp.Decorations {
+		rhs := ""
+		if d.Const != nil {
+			rhs = d.Const.String()
+		} else {
+			rhs = dp.refLabel(d.Right)
+		}
+		s += fmt.Sprintf(" AND %s %s %s", dp.refLabel(d.Left), d.Op, rhs)
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package query_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ehr"
+	"repro/internal/mine"
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/schemagraph"
+)
+
+// TestSupportEqualsMaskPopcount: for closed paths, Support must equal the
+// number of true entries in ExplainedRows; for open paths, the number of
+// true entries in ConnectedRows.
+func TestSupportEqualsMaskPopcount(t *testing.T) {
+	ev := query.NewEvaluator(figure3DB())
+
+	closedPaths := map[string]pathmodel.Path{
+		"appt": apptTemplate(t), "dept": deptTemplate(t), "group": groupTemplate(t),
+	}
+	for name, p := range closedPaths {
+		mask := ev.ExplainedRows(p)
+		n := 0
+		for _, b := range mask {
+			if b {
+				n++
+			}
+		}
+		if got := ev.Support(p); got != n {
+			t.Errorf("%s: Support = %d, mask popcount = %d", name, got, n)
+		}
+	}
+
+	open := mustPath(t,
+		schemagraph.Edge{From: pathmodel.StartAttr(), To: attr("Appointments", "Patient"), Kind: schemagraph.KeyFK})
+	mask := ev.ConnectedRows(open)
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	if got := ev.Support(open); got != n {
+		t.Errorf("open: Support = %d, mask popcount = %d", got, n)
+	}
+}
+
+// TestMinedTemplatesAgreeWithNaive runs the full miner over the tiny
+// synthetic hospital and differentially re-validates the support of every
+// mined template against the naive evaluator — an end-to-end check of the
+// whole optimized pipeline.
+func TestMinedTemplatesAgreeWithNaive(t *testing.T) {
+	ds := ehr.Generate(ehr.Tiny())
+	// Mining over the full log; no groups so the naive evaluator stays fast.
+	opts := ehr.GraphOptions{DatasetB: true, DeptSelfJoin: true, LogSelfJoins: true}
+	g := ehr.SchemaGraph(opts)
+	ev := query.NewEvaluator(ds.DB)
+
+	mopt := mine.DefaultOptions()
+	mopt.MaxLength = 3
+	res := mine.OneWay(ev, g, mopt)
+	if len(res.Templates) == 0 {
+		t.Fatal("no templates mined")
+	}
+	r := rand.New(rand.NewSource(3))
+	checked := 0
+	for _, p := range res.Templates {
+		// The naive evaluator is O(rows^hops); sample to keep the test fast.
+		if r.Intn(3) != 0 && checked >= 5 {
+			continue
+		}
+		if got, want := ev.Support(p), ev.SupportNaive(p); got != want {
+			t.Errorf("template %s: Support = %d, naive = %d", p, got, want)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d templates checked", checked)
+	}
+}
+
+// TestEstimatorMonotonicity: extending a path with another join never
+// increases the optimizer estimate by more than the join's worst-case
+// fanout, and is usually selective. We assert a weaker, always-true
+// property: the estimate of a closed path is never above the estimate of
+// its open prefix multiplied by the table size (sanity against wild
+// blow-ups) and stays within [0, |log|].
+func TestEstimatorSanity(t *testing.T) {
+	ev := query.NewEvaluator(figure3DB())
+	open := mustPath(t,
+		schemagraph.Edge{From: pathmodel.StartAttr(), To: attr("Appointments", "Patient"), Kind: schemagraph.KeyFK})
+	closed := apptTemplate(t)
+
+	for _, p := range []pathmodel.Path{open, closed} {
+		est := ev.EstimateSupport(p)
+		if est < 0 || est > ev.Log().NumRows() {
+			t.Errorf("estimate %d out of range", est)
+		}
+	}
+	// A closing equality predicate is selective: the closed estimate should
+	// not exceed the open estimate.
+	if ev.EstimateSupport(closed) > ev.EstimateSupport(open) {
+		t.Errorf("closing the path raised the estimate: %d > %d",
+			ev.EstimateSupport(closed), ev.EstimateSupport(open))
+	}
+}
+
+// TestEmptyLogEvaluation: an empty audited log yields zero support and
+// empty masks without panicking.
+func TestEmptyLogEvaluation(t *testing.T) {
+	db := figure3DB()
+	empty := relation.NewTable("Log", "Lid", "Date", "User", "Patient")
+	ev := query.NewEvaluatorWithLog(db, empty)
+
+	p := apptTemplate(t)
+	if got := ev.Support(p); got != 0 {
+		t.Errorf("Support over empty log = %d", got)
+	}
+	if mask := ev.ExplainedRows(p); len(mask) != 0 {
+		t.Errorf("mask length = %d", len(mask))
+	}
+	dp := pathmodel.NewDecoratedPath(p)
+	if got := ev.SupportDecorated(dp); got != 0 {
+		t.Errorf("decorated support over empty log = %d", got)
+	}
+}

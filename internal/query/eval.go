@@ -1,0 +1,440 @@
+// Package query executes explanation paths against a relation.Database. It
+// stands in for the PostgreSQL layer of the paper's prototype (§5.1),
+// providing the two primitives mining needs:
+//
+//   - Support: the exact COUNT(DISTINCT Log.Lid) of the path's
+//     support-counting query (§3.2), evaluated with per-table DISTINCT
+//     projections (the "Reducing Result Multiplicity" optimization) and
+//     semi-join style value propagation instead of full joins;
+//   - EstimateSupport: a cheap System-R style cardinality estimate standing
+//     in for "asking the database optimizer for the number of log ids it
+//     expects" (the "Skipping Non-Selective Paths" optimization).
+//
+// It also enumerates explanation instances (the bound tuple chains behind an
+// individual access) so that templates can be rendered in natural language.
+package query
+
+import (
+	"repro/internal/pathmodel"
+	"repro/internal/relation"
+)
+
+// Evaluator executes paths against one database. It caches per-path
+// compiled plans and the log column projections. An Evaluator is not safe
+// for concurrent use.
+type Evaluator struct {
+	db  *relation.Database
+	log *relation.Table
+
+	logPatients []relation.Value
+	logUsers    []relation.Value
+
+	// stats counters for mining-performance experiments.
+	queriesEvaluated int
+	estimatesIssued  int
+}
+
+// NewEvaluator creates an evaluator over db, which must contain a table
+// named Log with Lid, Date, User, and Patient columns. The audited rows and
+// the Log instances referenced by paths come from the same table.
+func NewEvaluator(db *relation.Database) *Evaluator {
+	return NewEvaluatorWithLog(db, db.MustTable(pathmodel.LogTable))
+}
+
+// NewEvaluatorWithLog creates an evaluator whose *audited* rows come from
+// audited, while the Log instances referenced inside paths (self-joins such
+// as the repeat-access template) resolve against db's Log table. This is how
+// the predictive-power experiments (§5.3.4) classify day-7 test accesses
+// against the historical days-1-6 log: a test access may only be "explained
+// by a previous access" if its pair appears in the past log — it must not
+// match itself in the test set.
+func NewEvaluatorWithLog(db *relation.Database, audited *relation.Table) *Evaluator {
+	log := audited
+	ev := &Evaluator{db: db, log: log}
+	pi, ok := log.ColumnIndex(pathmodel.LogPatientColumn)
+	if !ok {
+		panic("query: Log table lacks Patient column")
+	}
+	ui, ok := log.ColumnIndex(pathmodel.LogUserColumn)
+	if !ok {
+		panic("query: Log table lacks User column")
+	}
+	n := log.NumRows()
+	ev.logPatients = make([]relation.Value, n)
+	ev.logUsers = make([]relation.Value, n)
+	for r := 0; r < n; r++ {
+		row := log.Row(r)
+		ev.logPatients[r] = row[pi]
+		ev.logUsers[r] = row[ui]
+	}
+	return ev
+}
+
+// Database returns the database the evaluator is bound to.
+func (ev *Evaluator) Database() *relation.Database { return ev.db }
+
+// Log returns the log table the evaluator is bound to.
+func (ev *Evaluator) Log() *relation.Table { return ev.log }
+
+// QueriesEvaluated returns the number of exact support evaluations performed.
+func (ev *Evaluator) QueriesEvaluated() int { return ev.queriesEvaluated }
+
+// EstimatesIssued returns the number of cardinality estimates issued.
+func (ev *Evaluator) EstimatesIssued() int { return ev.estimatesIssued }
+
+// opKind distinguishes the three step types of a compiled plan.
+type opKind uint8
+
+const (
+	opBridge opKind = iota // translate values through a mapping table
+	opMap                  // entry -> exit through one table instance
+	opExists               // entry must exist in the final (open) instance
+	opClose                // values are compared against Log.User per row
+)
+
+// op is one step of a compiled plan. Forward propagation feeds a value set
+// through the ops in order.
+type op struct {
+	kind  opKind
+	table string
+	pairs map[relation.Value][]relation.Value // opBridge, opMap
+	index map[relation.Value][]int            // opExists
+}
+
+type plan struct {
+	ops    []op
+	closed bool
+}
+
+// compile lowers a path into a plan. It panics on malformed paths because
+// those indicate a bug in path construction, which tests cover directly.
+func (ev *Evaluator) compile(p pathmodel.Path) plan {
+	insts := p.Instances()
+	conds := p.Conds()
+	var pl plan
+	for i, c := range conds {
+		if c.Via != nil {
+			bt := ev.db.MustTable(c.Via.Table)
+			pl.ops = append(pl.ops, op{
+				kind:  opBridge,
+				table: c.Via.Table,
+				pairs: bt.DistinctPairs(c.Via.FromColumn, c.Via.ToColumn),
+			})
+		}
+		if c.RightInst == 0 {
+			if i != len(conds)-1 {
+				panic("query: closing condition before end of path")
+			}
+			pl.ops = append(pl.ops, op{kind: opClose})
+			pl.closed = true
+			continue
+		}
+		in := insts[c.RightInst]
+		t := ev.db.MustTable(in.Table)
+		if in.Exit == "" {
+			pl.ops = append(pl.ops, op{kind: opExists, table: in.Table, index: t.Index(in.Entry)})
+		} else {
+			pl.ops = append(pl.ops, op{kind: opMap, table: in.Table, pairs: t.DistinctPairs(in.Entry, in.Exit)})
+		}
+	}
+	if pl.closed != p.Closed() {
+		panic("query: plan/path closed-state mismatch")
+	}
+	return pl
+}
+
+// valueSet is a small set abstraction over relation.Value.
+type valueSet map[relation.Value]struct{}
+
+func (s valueSet) has(v relation.Value) bool { _, ok := s[v]; return ok }
+
+// propagate feeds the singleton {start} forward through every op except a
+// trailing opClose, returning the reachable value set at the end.
+func propagate(pl plan, start relation.Value) valueSet {
+	cur := valueSet{start: {}}
+	for _, o := range pl.ops {
+		switch o.kind {
+		case opClose:
+			return cur
+		case opExists:
+			next := make(valueSet)
+			for v := range cur {
+				if _, ok := o.index[v]; ok {
+					next[v] = struct{}{}
+				}
+			}
+			cur = next
+		default: // opBridge, opMap
+			next := make(valueSet)
+			for v := range cur {
+				for _, w := range o.pairs[v] {
+					next[w] = struct{}{}
+				}
+			}
+			cur = next
+		}
+		if len(cur) == 0 {
+			return cur
+		}
+	}
+	return cur
+}
+
+// feasibleStarts computes, via backward propagation over whole columns, the
+// set of start values from which the chain of a non-closed plan can be
+// satisfied. This evaluates an open path's support in time linear in the
+// total number of distinct pairs, independent of the log size.
+func feasibleStarts(pl plan) valueSet {
+	// Walk ops backward, maintaining the set of values at each boundary that
+	// can still reach the end. The final op of an open plan is opExists (or
+	// a bridge/map chain ending the path at its last instance's entry).
+	feasible := valueSet(nil) // nil means "unconstrained"
+	for i := len(pl.ops) - 1; i >= 0; i-- {
+		o := pl.ops[i]
+		switch o.kind {
+		case opExists:
+			next := make(valueSet, len(o.index))
+			for v := range o.index {
+				next[v] = struct{}{}
+			}
+			feasible = next
+		case opMap, opBridge:
+			next := make(valueSet)
+			for v, ws := range o.pairs {
+				if feasible == nil {
+					next[v] = struct{}{}
+					continue
+				}
+				for _, w := range ws {
+					if feasible.has(w) {
+						next[v] = struct{}{}
+						break
+					}
+				}
+			}
+			feasible = next
+		case opClose:
+			panic("query: feasibleStarts called on closed plan")
+		}
+	}
+	return feasible
+}
+
+// Support returns COUNT(DISTINCT Log.Lid) for the path's support query: for
+// a closed path, the number of log entries (p, u) connected by some tuple
+// chain; for an open path, the number of log entries whose patient can start
+// a satisfiable chain. Log rows are assumed to carry distinct Lids (the
+// generator guarantees it), so the count is over rows.
+func (ev *Evaluator) Support(p pathmodel.Path) int {
+	ev.queriesEvaluated++
+	pl := ev.compile(p)
+	starts, ends := ev.orient(p)
+	if !pl.closed {
+		f := feasibleStarts(pl)
+		n := 0
+		for _, sv := range starts {
+			if f.has(sv) {
+				n++
+			}
+		}
+		return n
+	}
+	reach := make(map[relation.Value]valueSet)
+	n := 0
+	for r, sv := range starts {
+		set, ok := reach[sv]
+		if !ok {
+			set = propagate(pl, sv)
+			reach[sv] = set
+		}
+		if set.has(ends[r]) {
+			n++
+		}
+	}
+	return n
+}
+
+// orient returns the per-row start and end value columns for the path's
+// direction: (patients, users) for forward paths, (users, patients) for
+// backward paths.
+func (ev *Evaluator) orient(p pathmodel.Path) (starts, ends []relation.Value) {
+	if p.Forward() {
+		return ev.logPatients, ev.logUsers
+	}
+	return ev.logUsers, ev.logPatients
+}
+
+// ExplainedRows returns, for a closed path, a boolean per log row indicating
+// whether that access is explained by the path. It panics on open paths.
+func (ev *Evaluator) ExplainedRows(p pathmodel.Path) []bool {
+	if !p.Closed() {
+		panic("query: ExplainedRows requires a closed path")
+	}
+	ev.queriesEvaluated++
+	pl := ev.compile(p)
+	starts, ends := ev.orient(p)
+	out := make([]bool, len(starts))
+	reach := make(map[relation.Value]valueSet)
+	for r, sv := range starts {
+		set, ok := reach[sv]
+		if !ok {
+			set = propagate(pl, sv)
+			reach[sv] = set
+		}
+		out[r] = set.has(ends[r])
+	}
+	return out
+}
+
+// EstimateSupport returns a cheap optimizer-style estimate of the support
+// query's COUNT(DISTINCT Log.Lid). It applies the textbook equi-join
+// selectivity 1/max(ndv(a), ndv(b)) hop by hop and clamps to the log size.
+// Like a real optimizer it can err in both directions; the mining algorithm
+// compensates with the constant c of §3.2.1.
+func (ev *Evaluator) EstimateSupport(p pathmodel.Path) int {
+	ev.estimatesIssued++
+	insts := p.Instances()
+	conds := p.Conds()
+
+	rows := float64(ev.log.NumRows())
+	ndvPrev := float64(ev.log.NumDistinct(p.StartColumn()))
+
+	join := func(tbl *relation.Table, entry, exit string) {
+		tRows := float64(tbl.NumRows())
+		ndvEntry := float64(tbl.NumDistinct(entry))
+		if ndvEntry == 0 || tRows == 0 {
+			rows = 0
+			return
+		}
+		rows = rows * tRows / maxf(ndvPrev, ndvEntry)
+		if exit != "" {
+			ndvPrev = float64(tbl.NumDistinct(exit))
+		} else {
+			ndvPrev = ndvEntry
+		}
+	}
+
+	for _, c := range conds {
+		if c.Via != nil {
+			join(ev.db.MustTable(c.Via.Table), c.Via.FromColumn, c.Via.ToColumn)
+		}
+		if c.RightInst == 0 {
+			ndvEnd := float64(ev.log.NumDistinct(c.RightCol))
+			rows = rows / maxf(ndvPrev, maxf(ndvEnd, 1))
+			continue
+		}
+		in := insts[c.RightInst]
+		join(ev.db.MustTable(in.Table), in.Entry, in.Exit)
+	}
+	est := int(rows)
+	if est > ev.log.NumRows() {
+		est = ev.log.NumRows()
+	}
+	if est < 0 {
+		est = 0
+	}
+	return est
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// InstanceBinding is one concrete explanation instance for a specific log
+// row: the row chosen in each non-log table instance along the path, in
+// path order.
+type InstanceBinding struct {
+	Rows []int
+}
+
+// Instances enumerates up to limit explanation instances of a closed path
+// for the log row at index logRow. Each binding fixes one row per non-log
+// instance such that all join conditions (including bridge translations)
+// hold. The paper converts each instance to natural language and ranks
+// explanations in ascending order of path length; rendering lives in the
+// explain package.
+func (ev *Evaluator) Instances(p pathmodel.Path, logRow, limit int) []InstanceBinding {
+	if !p.Closed() {
+		panic("query: Instances requires a closed path")
+	}
+	if !p.Forward() {
+		p = p.Reverse()
+	}
+	if limit <= 0 {
+		limit = 1
+	}
+	insts := p.Instances()
+	conds := p.Conds()
+	patient := ev.logPatients[logRow]
+	user := ev.logUsers[logRow]
+
+	var out []InstanceBinding
+	rows := make([]int, 0, len(insts)-1)
+
+	var dfs func(ci int, current relation.Value) bool
+	dfs = func(ci int, current relation.Value) bool {
+		if ci == len(conds) {
+			out = append(out, InstanceBinding{Rows: append([]int(nil), rows...)})
+			return len(out) >= limit
+		}
+		c := conds[ci]
+		// Candidate values on the right-hand side after bridge translation.
+		candidates := []relation.Value{current}
+		if c.Via != nil {
+			bt := ev.db.MustTable(c.Via.Table)
+			candidates = bt.DistinctPairs(c.Via.FromColumn, c.Via.ToColumn)[current]
+		}
+		if c.RightInst == 0 {
+			// Closing condition: some candidate must equal this row's user.
+			for _, v := range candidates {
+				if v == user {
+					return dfs(ci+1, v)
+				}
+			}
+			return false
+		}
+		in := insts[c.RightInst]
+		t := ev.db.MustTable(in.Table)
+		idx := t.Index(in.Entry)
+		for _, v := range candidates {
+			for _, r := range idx[v] {
+				rows = append(rows, r)
+				next := relation.Null()
+				if in.Exit != "" {
+					next = t.Get(r, in.Exit)
+				}
+				done := dfs(ci+1, next)
+				rows = rows[:len(rows)-1]
+				if done {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	dfs(0, patient)
+	return out
+}
+
+// ConnectedRows returns, for an open path, a boolean per log row indicating
+// whether the row's start value (its patient, for forward paths) can begin a
+// satisfiable chain. This scores "event" indicators such as the paper's
+// Figure 6 bars (the patient had an appointment with anyone). It panics on
+// closed paths; use ExplainedRows for those.
+func (ev *Evaluator) ConnectedRows(p pathmodel.Path) []bool {
+	if p.Closed() {
+		panic("query: ConnectedRows requires an open path")
+	}
+	ev.queriesEvaluated++
+	pl := ev.compile(p)
+	starts, _ := ev.orient(p)
+	f := feasibleStarts(pl)
+	out := make([]bool, len(starts))
+	for r, sv := range starts {
+		out[r] = f.has(sv)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package query
+
+import (
+	"repro/internal/pathmodel"
+	"repro/internal/relation"
+)
+
+// SupportNaive computes the same COUNT(DISTINCT Log.Lid) as Support but with
+// a naive nested-loop join over raw table rows, without the DISTINCT
+// projections or semi-join propagation. It exists as the baseline for the
+// "Reducing Result Multiplicity" ablation benchmark and as a differential
+// oracle for tests: Support and SupportNaive must always agree.
+func (ev *Evaluator) SupportNaive(p pathmodel.Path) int {
+	insts := p.Instances()
+	conds := p.Conds()
+	starts, ends := ev.orient(p)
+
+	// exists reports whether a tuple chain satisfies the conditions from
+	// cond ci onward, starting with the value current, for audited row r.
+	var exists func(ci int, current relation.Value, r int) bool
+	exists = func(ci int, current relation.Value, r int) bool {
+		if ci == len(conds) {
+			return true
+		}
+		c := conds[ci]
+		candidates := []relation.Value{current}
+		if c.Via != nil {
+			candidates = candidates[:0]
+			bt := ev.db.MustTable(c.Via.Table)
+			fi, _ := bt.ColumnIndex(c.Via.FromColumn)
+			ti, _ := bt.ColumnIndex(c.Via.ToColumn)
+			for br := 0; br < bt.NumRows(); br++ {
+				row := bt.Row(br)
+				if row[fi] == current {
+					candidates = append(candidates, row[ti])
+				}
+			}
+		}
+		if c.RightInst == 0 {
+			for _, v := range candidates {
+				if v == ends[r] {
+					return true
+				}
+			}
+			return false
+		}
+		in := insts[c.RightInst]
+		t := ev.db.MustTable(in.Table)
+		ei, _ := t.ColumnIndex(in.Entry)
+		var xi = -1
+		if in.Exit != "" {
+			xi, _ = t.ColumnIndex(in.Exit)
+		}
+		for _, v := range candidates {
+			for tr := 0; tr < t.NumRows(); tr++ {
+				row := t.Row(tr)
+				if row[ei] != v {
+					continue
+				}
+				next := relation.Null()
+				if xi >= 0 {
+					next = row[xi]
+				}
+				if exists(ci+1, next, r) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	n := 0
+	for r := range starts {
+		if exists(0, starts[r], r) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database is a named collection of tables. It corresponds to the hospital
+// database instance that the paper mines: an access log plus the event
+// tables that explain it.
+type Database struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table. Re-registering a name replaces the previous
+// table (used when the Groups table is rebuilt after re-clustering).
+func (db *Database) AddTable(t *Table) {
+	if _, exists := db.tables[t.Name()]; !exists {
+		db.order = append(db.order, t.Name())
+	}
+	db.tables[t.Name()] = t
+}
+
+// Table returns the named table, or nil if absent.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// MustTable returns the named table and panics if it is absent. It is used
+// where a missing table indicates a schema-construction bug.
+func (db *Database) MustTable(name string) *Table {
+	t := db.tables[name]
+	if t == nil {
+		panic(fmt.Sprintf("relation: database has no table %q", name))
+	}
+	return t
+}
+
+// HasTable reports whether the database contains the named table.
+func (db *Database) HasTable(name string) bool {
+	_, ok := db.tables[name]
+	return ok
+}
+
+// TableNames returns the registered table names in registration order.
+func (db *Database) TableNames() []string {
+	return append([]string(nil), db.order...)
+}
+
+// Summary returns one line per table ("name: rows=N cols=M"), sorted by
+// table name, for CLI display.
+func (db *Database) Summary() []string {
+	names := append([]string(nil), db.order...)
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		t := db.tables[n]
+		out = append(out, fmt.Sprintf("%s: rows=%d cols=%d", n, t.NumRows(), len(t.Columns())))
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Dump writes the table as CSV with a typed header. Each header cell is
+// "name:kind" with kind one of int, string, or date; null cells are written
+// as the empty string with a trailing marker handled by Load. The format
+// round-trips through Load.
+func (t *Table) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+
+	header := make([]string, len(t.columns))
+	for i, c := range t.columns {
+		kind := "string"
+		// Infer the column kind from the first non-null value.
+		for _, row := range t.rows {
+			switch row[i].Kind {
+			case KindInt:
+				kind = "int"
+			case KindDate:
+				kind = "date"
+			case KindString:
+				kind = "string"
+			default:
+				continue
+			}
+			break
+		}
+		header[i] = c + ":" + kind
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: dump %s: %w", t.name, err)
+	}
+
+	record := make([]string, len(t.columns))
+	for _, row := range t.rows {
+		for i, v := range row {
+			switch v.Kind {
+			case KindNull:
+				record[i] = "\\N"
+			case KindInt, KindDate:
+				record[i] = strconv.FormatInt(v.Int, 10)
+			case KindString:
+				record[i] = v.Str
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("relation: dump %s: %w", t.name, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("relation: dump %s: %w", t.name, err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a table in the Dump format. The table is named name regardless
+// of its origin.
+func Load(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: load %s: reading header: %w", name, err)
+	}
+	columns := make([]string, len(header))
+	kinds := make([]Kind, len(header))
+	for i, h := range header {
+		col, kindName, ok := strings.Cut(h, ":")
+		if !ok {
+			return nil, fmt.Errorf("relation: load %s: header cell %q lacks a :kind suffix", name, h)
+		}
+		columns[i] = col
+		switch kindName {
+		case "int":
+			kinds[i] = KindInt
+		case "string":
+			kinds[i] = KindString
+		case "date":
+			kinds[i] = KindDate
+		default:
+			return nil, fmt.Errorf("relation: load %s: unknown kind %q", name, kindName)
+		}
+	}
+	t := NewTable(name, columns...)
+
+	rowNum := 1
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: load %s: row %d: %w", name, rowNum, err)
+		}
+		if len(record) != len(columns) {
+			return nil, fmt.Errorf("relation: load %s: row %d has %d fields, want %d",
+				name, rowNum, len(record), len(columns))
+		}
+		row := make([]Value, len(columns))
+		for i, cell := range record {
+			if cell == "\\N" {
+				row[i] = Null()
+				continue
+			}
+			switch kinds[i] {
+			case KindString:
+				row[i] = String(cell)
+			case KindInt:
+				n, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: load %s: row %d column %s: %w", name, rowNum, columns[i], err)
+				}
+				row[i] = Int(n)
+			case KindDate:
+				n, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: load %s: row %d column %s: %w", name, rowNum, columns[i], err)
+				}
+				row[i] = Date(int(n))
+			}
+		}
+		t.Append(row...)
+		rowNum++
+	}
+}

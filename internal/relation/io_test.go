@@ -1,0 +1,121 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	orig := NewTable("Mixed", "ID", "Name", "Day", "Note")
+	orig.Append(Int(1), String("alice"), Date(0), Null())
+	orig.Append(Int(2), String("bob, jr."), Date(3), String("quoted,cell"))
+	orig.Append(Int(-7), String(`with "quotes"`), Date(6), String("line\nbreak"))
+
+	var buf bytes.Buffer
+	if err := orig.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load("Mixed", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != orig.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), orig.NumRows())
+	}
+	for r := 0; r < orig.NumRows(); r++ {
+		for c, col := range orig.Columns() {
+			if got.Row(r)[c] != orig.Row(r)[c] {
+				t.Errorf("row %d column %s: %v != %v", r, col, got.Row(r)[c], orig.Row(r)[c])
+			}
+		}
+	}
+}
+
+func TestDumpHeaderKinds(t *testing.T) {
+	tb := NewTable("T", "A", "B", "C")
+	tb.Append(Int(1), String("x"), Date(2))
+	var buf bytes.Buffer
+	if err := tb.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if header != "A:int,B:string,C:date" {
+		t.Errorf("header = %q", header)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing kind": "A,B:int\n1,2\n",
+		"unknown kind": "A:float\n1\n",
+		"bad int":      "A:int\nxyz\n",
+		"bad date":     "A:date\nxyz\n",
+		"ragged row":   "A:int,B:int\n1\n",
+	}
+	for name, input := range cases {
+		if _, err := Load("T", strings.NewReader(input)); err == nil {
+			t.Errorf("%s: Load succeeded, want error", name)
+		}
+	}
+	if _, err := Load("T", strings.NewReader("")); err == nil {
+		t.Error("empty input: Load succeeded")
+	}
+}
+
+func TestLoadEmptyTable(t *testing.T) {
+	got, err := Load("T", strings.NewReader("A:int,B:string\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || len(got.Columns()) != 2 {
+		t.Errorf("rows=%d cols=%d", got.NumRows(), len(got.Columns()))
+	}
+}
+
+// TestDumpLoadRandomRoundTrip is the property version: arbitrary tables of
+// ints/strings/dates survive the round trip.
+func TestDumpLoadRandomRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tb := NewTable("T", "I", "S", "D")
+		for i := 0; i < r.Intn(30); i++ {
+			tb.Append(
+				Int(int64(r.Intn(1000)-500)),
+				String(randomString(r)),
+				Date(r.Intn(7)),
+			)
+		}
+		var buf bytes.Buffer
+		if err := tb.Dump(&buf); err != nil {
+			return false
+		}
+		got, err := Load("T", &buf)
+		if err != nil || got.NumRows() != tb.NumRows() {
+			return false
+		}
+		for i := 0; i < tb.NumRows(); i++ {
+			for c := range tb.Columns() {
+				if got.Row(i)[c] != tb.Row(i)[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomString(r *rand.Rand) string {
+	alphabet := []rune("abcdef ,\"'\n\\éあ")
+	n := r.Intn(8)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(out)
+}

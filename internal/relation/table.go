@@ -1,0 +1,182 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an in-memory relation: a named list of columns and a list of rows.
+// Rows are append-only; the engine never updates in place, which keeps the
+// lazily built hash indexes valid for the lifetime of the table.
+type Table struct {
+	name    string
+	columns []string
+	colIdx  map[string]int
+	rows    [][]Value
+
+	// indexes maps a column index to a hash index over that column. Built
+	// lazily by Index and invalidated by Append (appends drop indexes; all
+	// workloads here are load-then-query).
+	indexes map[int]map[Value][]int
+
+	// pairIndexes caches DISTINCT (a, b) projections keyed by the two column
+	// indexes; see DistinctPairs.
+	pairIndexes map[[2]int]map[Value][]Value
+}
+
+// NewTable creates an empty table with the given column names. Column names
+// must be unique; NewTable panics otherwise because a malformed schema is a
+// programming error, not a runtime condition.
+func NewTable(name string, columns ...string) *Table {
+	t := &Table{
+		name:    name,
+		columns: append([]string(nil), columns...),
+		colIdx:  make(map[string]int, len(columns)),
+	}
+	for i, c := range columns {
+		if _, dup := t.colIdx[c]; dup {
+			panic(fmt.Sprintf("relation: duplicate column %q in table %q", c, name))
+		}
+		t.colIdx[c] = i
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column names in declaration order. The returned slice
+// must not be modified.
+func (t *Table) Columns() []string { return t.columns }
+
+// NumRows returns the number of rows in the table.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// ColumnIndex returns the position of the named column and whether it exists.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.colIdx[name]
+	return i, ok
+}
+
+// HasColumn reports whether the table has a column with the given name.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.colIdx[name]
+	return ok
+}
+
+// Append adds a row. The row length must match the number of columns.
+func (t *Table) Append(row ...Value) {
+	if len(row) != len(t.columns) {
+		panic(fmt.Sprintf("relation: table %q expects %d values, got %d", t.name, len(t.columns), len(row)))
+	}
+	t.rows = append(t.rows, append([]Value(nil), row...))
+	t.indexes = nil
+	t.pairIndexes = nil
+}
+
+// Row returns the i-th row. The returned slice must not be modified.
+func (t *Table) Row(i int) []Value { return t.rows[i] }
+
+// Get returns the value of the named column in the i-th row.
+func (t *Table) Get(i int, column string) Value {
+	ci, ok := t.colIdx[column]
+	if !ok {
+		panic(fmt.Sprintf("relation: table %q has no column %q", t.name, column))
+	}
+	return t.rows[i][ci]
+}
+
+// Index returns a hash index from values of the named column to the row
+// numbers holding that value. The index is built on first use and cached.
+func (t *Table) Index(column string) map[Value][]int {
+	ci, ok := t.colIdx[column]
+	if !ok {
+		panic(fmt.Sprintf("relation: table %q has no column %q", t.name, column))
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[int]map[Value][]int)
+	}
+	if idx, ok := t.indexes[ci]; ok {
+		return idx
+	}
+	idx := make(map[Value][]int)
+	for r, row := range t.rows {
+		idx[row[ci]] = append(idx[row[ci]], r)
+	}
+	t.indexes[ci] = idx
+	return idx
+}
+
+// DistinctPairs returns the DISTINCT projection of (from, to) as a map from
+// each from-value to the sorted, de-duplicated set of to-values paired with
+// it. This is the engine-level form of the paper's "Reducing Result
+// Multiplicity" optimization (§3.2.1): support counting only cares whether a
+// connecting tuple exists, so duplicates are removed before joining.
+func (t *Table) DistinctPairs(from, to string) map[Value][]Value {
+	fi, ok := t.colIdx[from]
+	if !ok {
+		panic(fmt.Sprintf("relation: table %q has no column %q", t.name, from))
+	}
+	ti, ok := t.colIdx[to]
+	if !ok {
+		panic(fmt.Sprintf("relation: table %q has no column %q", t.name, to))
+	}
+	key := [2]int{fi, ti}
+	if t.pairIndexes == nil {
+		t.pairIndexes = make(map[[2]int]map[Value][]Value)
+	}
+	if m, ok := t.pairIndexes[key]; ok {
+		return m
+	}
+	seen := make(map[[2]Value]struct{}, len(t.rows))
+	m := make(map[Value][]Value)
+	for _, row := range t.rows {
+		p := [2]Value{row[fi], row[ti]}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		m[p[0]] = append(m[p[0]], p[1])
+	}
+	for k := range m {
+		vs := m[k]
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+	}
+	t.pairIndexes[key] = m
+	return m
+}
+
+// DistinctValues returns the sorted set of distinct values in the named
+// column.
+func (t *Table) DistinctValues(column string) []Value {
+	idx := t.Index(column)
+	out := make([]Value, 0, len(idx))
+	for v := range idx {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// NumDistinct returns the number of distinct values in the named column.
+func (t *Table) NumDistinct(column string) int { return len(t.Index(column)) }
+
+// Filter returns a new table containing the rows for which keep returns
+// true. The new table shares no index state with the receiver.
+func (t *Table) Filter(name string, keep func(row []Value) bool) *Table {
+	out := NewTable(name, t.columns...)
+	for _, row := range t.rows {
+		if keep(row) {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the table (rows are shared; they are never
+// mutated).
+func (t *Table) Clone(name string) *Table {
+	out := NewTable(name, t.columns...)
+	out.rows = append(out.rows, t.rows...)
+	return out
+}

@@ -1,0 +1,213 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Appointments", "Patient", "Date", "Doctor")
+	t.Append(Int(1), Date(0), Int(10))
+	t.Append(Int(1), Date(1), Int(10)) // same pair, different date
+	t.Append(Int(1), Date(0), Int(11))
+	t.Append(Int(2), Date(2), Int(10))
+	t.Append(Int(3), Date(3), Int(12))
+	return t
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := sampleTable()
+	if tb.Name() != "Appointments" {
+		t.Errorf("Name() = %q", tb.Name())
+	}
+	if got := tb.NumRows(); got != 5 {
+		t.Errorf("NumRows() = %d, want 5", got)
+	}
+	if got, want := tb.Columns(), []string{"Patient", "Date", "Doctor"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Columns() = %v, want %v", got, want)
+	}
+	if i, ok := tb.ColumnIndex("Doctor"); !ok || i != 2 {
+		t.Errorf("ColumnIndex(Doctor) = %d,%v", i, ok)
+	}
+	if _, ok := tb.ColumnIndex("Nope"); ok {
+		t.Error("ColumnIndex(Nope) reported ok")
+	}
+	if !tb.HasColumn("Date") || tb.HasColumn("Nope") {
+		t.Error("HasColumn wrong")
+	}
+	if got := tb.Get(3, "Patient"); got != Int(2) {
+		t.Errorf("Get(3, Patient) = %v", got)
+	}
+}
+
+func TestTablePanicsOnSchemaErrors(t *testing.T) {
+	assertPanics(t, "duplicate column", func() { NewTable("T", "A", "A") })
+	assertPanics(t, "short row", func() { sampleTable().Append(Int(1)) })
+	assertPanics(t, "missing column Get", func() { sampleTable().Get(0, "Nope") })
+	assertPanics(t, "missing column Index", func() { sampleTable().Index("Nope") })
+	assertPanics(t, "missing column DistinctPairs", func() { sampleTable().DistinctPairs("Nope", "Date") })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestIndex(t *testing.T) {
+	tb := sampleTable()
+	idx := tb.Index("Patient")
+	if got := idx[Int(1)]; !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("index[1] = %v", got)
+	}
+	if got := idx[Int(3)]; !reflect.DeepEqual(got, []int{4}) {
+		t.Errorf("index[3] = %v", got)
+	}
+	if _, ok := idx[Int(99)]; ok {
+		t.Error("index contains absent value")
+	}
+	// Caching: a second call returns the same map (mutating one shows in the
+	// other; never do this outside a test).
+	idx2 := tb.Index("Patient")
+	idx[Int(99)] = []int{1}
+	if _, ok := idx2[Int(99)]; !ok {
+		t.Error("Index not cached between calls")
+	}
+	delete(idx, Int(99))
+}
+
+func TestIndexInvalidatedByAppend(t *testing.T) {
+	tb := sampleTable()
+	_ = tb.Index("Patient")
+	tb.Append(Int(9), Date(0), Int(10))
+	idx := tb.Index("Patient")
+	if got := idx[Int(9)]; !reflect.DeepEqual(got, []int{5}) {
+		t.Errorf("index not rebuilt after Append: %v", got)
+	}
+}
+
+func TestDistinctPairsDeduplicatesAndSorts(t *testing.T) {
+	tb := sampleTable()
+	pairs := tb.DistinctPairs("Patient", "Doctor")
+	// Patient 1 pairs with doctors 10 (twice in rows) and 11 — deduplicated.
+	if got := pairs[Int(1)]; !reflect.DeepEqual(got, []Value{Int(10), Int(11)}) {
+		t.Errorf("pairs[1] = %v, want [10 11]", got)
+	}
+	if got := pairs[Int(2)]; !reflect.DeepEqual(got, []Value{Int(10)}) {
+		t.Errorf("pairs[2] = %v", got)
+	}
+	if len(pairs) != 3 {
+		t.Errorf("len(pairs) = %d, want 3", len(pairs))
+	}
+}
+
+func TestDistinctValuesAndNumDistinct(t *testing.T) {
+	tb := sampleTable()
+	vals := tb.DistinctValues("Doctor")
+	if want := []Value{Int(10), Int(11), Int(12)}; !reflect.DeepEqual(vals, want) {
+		t.Errorf("DistinctValues = %v, want %v", vals, want)
+	}
+	if got := tb.NumDistinct("Patient"); got != 3 {
+		t.Errorf("NumDistinct(Patient) = %d", got)
+	}
+}
+
+func TestFilterAndClone(t *testing.T) {
+	tb := sampleTable()
+	f := tb.Filter("sub", func(row []Value) bool { return row[0] == Int(1) })
+	if f.NumRows() != 3 || f.Name() != "sub" {
+		t.Errorf("Filter: rows=%d name=%q", f.NumRows(), f.Name())
+	}
+	c := tb.Clone("copy")
+	if c.NumRows() != tb.NumRows() {
+		t.Errorf("Clone rows = %d", c.NumRows())
+	}
+	// Appending to the clone must not affect the original.
+	c.Append(Int(7), Date(0), Int(10))
+	if tb.NumRows() != 5 {
+		t.Error("Clone shares row storage with original")
+	}
+}
+
+// TestDistinctPairsMatchesNaive is a property test: DistinctPairs agrees
+// with a brute-force scan on random tables.
+func TestDistinctPairsMatchesNaive(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tb := NewTable("T", "A", "B")
+		n := r.Intn(60)
+		for i := 0; i < n; i++ {
+			tb.Append(Int(int64(r.Intn(6))), Int(int64(r.Intn(6))))
+		}
+		got := tb.DistinctPairs("A", "B")
+
+		want := make(map[Value]map[Value]bool)
+		for i := 0; i < tb.NumRows(); i++ {
+			a, b := tb.Get(i, "A"), tb.Get(i, "B")
+			if want[a] == nil {
+				want[a] = make(map[Value]bool)
+			}
+			want[a][b] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for a, bs := range want {
+			gotBs := got[a]
+			if len(gotBs) != len(bs) {
+				return false
+			}
+			if !sort.SliceIsSorted(gotBs, func(i, j int) bool { return gotBs[i].Less(gotBs[j]) }) {
+				return false
+			}
+			for _, b := range gotBs {
+				if !bs[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	tb := sampleTable()
+	db.AddTable(tb)
+	if !db.HasTable("Appointments") || db.HasTable("Nope") {
+		t.Error("HasTable wrong")
+	}
+	if db.Table("Appointments") != tb {
+		t.Error("Table returned wrong table")
+	}
+	if db.Table("Nope") != nil {
+		t.Error("Table(Nope) != nil")
+	}
+	if db.MustTable("Appointments") != tb {
+		t.Error("MustTable returned wrong table")
+	}
+	assertPanics(t, "MustTable missing", func() { db.MustTable("Nope") })
+
+	// Replacement keeps registration order and count.
+	repl := sampleTable()
+	db.AddTable(repl)
+	if got := db.TableNames(); !reflect.DeepEqual(got, []string{"Appointments"}) {
+		t.Errorf("TableNames = %v", got)
+	}
+	if db.Table("Appointments") != repl {
+		t.Error("AddTable did not replace")
+	}
+	if s := db.Summary(); len(s) != 1 {
+		t.Errorf("Summary = %v", s)
+	}
+}
