@@ -10,10 +10,13 @@
 package repro
 
 import (
+	"context"
+	"reflect"
 	"sync"
 	"testing"
 
 	"repro/internal/accesslog"
+	"repro/internal/core"
 	"repro/internal/ehr"
 	"repro/internal/experiments"
 	"repro/internal/explain"
@@ -25,12 +28,78 @@ import (
 var (
 	benchOnce sync.Once
 	benchEnv  *experiments.Env
+
+	auditorOnce sync.Once
+	auditorInst *core.Auditor
+	auditorErr  string
 )
 
 func smallEnv(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchOnce.Do(func() { benchEnv = experiments.Prepare(experiments.Default()) })
 	return benchEnv
+}
+
+// batchAuditor builds (once) a fully configured auditor over the Figure-6
+// scale dataset — the Small hospital's whole week of accesses with the
+// complete hand-crafted catalog — with template masks pre-warmed, and
+// differentially verifies that the parallel batch engine reproduces the
+// sequential reports before any timing starts.
+func batchAuditor(b *testing.B) *core.Auditor {
+	b.Helper()
+	e := smallEnv(b)
+	auditorOnce.Do(func() {
+		a := core.NewAuditor(e.DS.DB, ehr.SchemaGraph(ehr.DefaultGraphOptions()), core.WithNamer(e.DS))
+		// experiments.Prepare already installed the trained Groups table.
+		a.AddTemplates(explain.Handcrafted(true, true).All()...)
+		seq := a.ExplainAll(context.Background(), 1)
+		par := a.ExplainAll(context.Background(), 8)
+		if !reflect.DeepEqual(seq, par) {
+			auditorErr = "parallel ExplainAll reports differ from sequential"
+			return
+		}
+		auditorInst = a
+	})
+	if auditorErr != "" {
+		b.Fatal(auditorErr)
+	}
+	return auditorInst
+}
+
+// benchmarkExplainAll times one full batch audit of the log at the given
+// worker count.
+func benchmarkExplainAll(b *testing.B, parallelism int) {
+	a := batchAuditor(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if reports := a.ExplainAll(ctx, parallelism); len(reports) == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}
+
+// BenchmarkExplainAllSequential is the single-worker baseline the parallel
+// variants are judged against.
+func BenchmarkExplainAllSequential(b *testing.B) { benchmarkExplainAll(b, 1) }
+
+// BenchmarkExplainAllParallel4 runs the batch auditing engine with 4
+// workers; the acceptance bar is ≥ 2x over the sequential baseline.
+func BenchmarkExplainAllParallel4(b *testing.B) { benchmarkExplainAll(b, 4) }
+
+// BenchmarkExplainAllParallel8 runs the batch auditing engine with 8
+// workers.
+func BenchmarkExplainAllParallel8(b *testing.B) { benchmarkExplainAll(b, 8) }
+
+// BenchmarkUnexplainedParallel times the parallel misuse-detection shortlist
+// (masks pre-warmed, so this isolates the sharded union scan).
+func BenchmarkUnexplainedParallel(b *testing.B) {
+	a := batchAuditor(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UnexplainedAccessesParallel(ctx, 8)
+	}
 }
 
 // BenchmarkFigure6 regenerates Figure 6 (event frequency, all accesses).
@@ -302,6 +371,32 @@ func BenchmarkAblationDistinct(b *testing.B) {
 	b.Run("distinct=off(naive)", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if ev.SupportNaive(tpl.Path) != want {
+				b.Fatal("support mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIndex compares the indexed nested-join evaluator
+// (SupportNaive) against the fully index-free linear-scan baseline
+// (SupportScan) on the length-2 appointment template, isolating what the
+// per-column hash indexes buy on top of nothing.
+func BenchmarkAblationIndex(b *testing.B) {
+	e := smallEnv(b)
+	tpl := explain.WithDrTemplate("appt-with-dr", "Appointments", "an appointment")
+	db, audited := e.MiningDB()
+	ev := query.NewEvaluatorWithLog(db, audited)
+	want := ev.Support(tpl.Path)
+	b.Run("index=on(naive)", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ev.SupportNaive(tpl.Path) != want {
+				b.Fatal("support mismatch")
+			}
+		}
+	})
+	b.Run("index=off(scan)", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ev.SupportScan(tpl.Path) != want {
 				b.Fatal("support mismatch")
 			}
 		}

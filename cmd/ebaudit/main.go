@@ -8,19 +8,26 @@
 //
 //	ebaudit [flags] summary
 //	ebaudit [flags] patient -id N        # portal report for one patient
+//	ebaudit [flags] audit [-n N]         # batch-audit every access in parallel
 //	ebaudit [flags] mine [-algo name]    # mine templates for review
 //	ebaudit [flags] unexplained [-n N]   # misuse-detection shortlist
 //	ebaudit [flags] groups [-depth D]    # collaborative-group composition
 //	ebaudit [flags] templates            # print the hand-crafted catalog
 //	ebaudit [flags] export -dir DIR      # dump every table as typed CSV
+//
+// The -j flag sets the worker count of the batch auditing engine (0 means
+// GOMAXPROCS); summary, audit, and unexplained all run on it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ehr"
@@ -33,6 +40,7 @@ import (
 func main() {
 	scale := flag.String("scale", "tiny", "dataset scale: tiny, small, or medium")
 	seed := flag.Int64("seed", 1, "generator seed")
+	parallelism := flag.Int("j", 0, "batch auditing workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -53,7 +61,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 
-	app := newApp(cfg)
+	app := newApp(cfg, *parallelism)
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
@@ -61,6 +69,8 @@ func main() {
 		err = app.summary()
 	case "patient":
 		err = app.patient(args)
+	case "audit":
+		err = app.audit(args)
 	case "mine":
 		err = app.mine(args)
 	case "unexplained":
@@ -82,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ebaudit [-scale S] [-seed N] <summary|patient|mine|unexplained|groups|templates|export> [args]")
+	fmt.Fprintln(os.Stderr, "usage: ebaudit [-scale S] [-seed N] [-j W] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
 }
 
 // app holds the prepared auditor.
@@ -90,15 +100,17 @@ type app struct {
 	ds      *ehr.Dataset
 	auditor *core.Auditor
 	hier    *groups.Hierarchy
+	// parallelism is the batch engine's worker count (0 = GOMAXPROCS).
+	parallelism int
 }
 
-func newApp(cfg ehr.Config) *app {
+func newApp(cfg ehr.Config, parallelism int) *app {
 	ds := ehr.Generate(cfg)
 	graph := ehr.SchemaGraph(ehr.DefaultGraphOptions())
 	a := core.NewAuditor(ds.DB, graph, core.WithNamer(ds))
 	hier := a.BuildGroups(core.GroupsOptions{})
 	a.AddTemplates(explain.Handcrafted(true, true).All()...)
-	return &app{ds: ds, auditor: a, hier: hier}
+	return &app{ds: ds, auditor: a, hier: hier, parallelism: parallelism}
 }
 
 func (a *app) summary() error {
@@ -106,7 +118,50 @@ func (a *app) summary() error {
 	for _, line := range a.ds.DB.Summary() {
 		fmt.Println("  " + line)
 	}
-	fmt.Printf("explained fraction with hand-crafted templates: %.3f\n", a.auditor.ExplainedFraction())
+	fmt.Printf("explained fraction with hand-crafted templates: %.3f\n",
+		a.auditor.ExplainedFractionParallel(context.Background(), a.parallelism))
+	return nil
+}
+
+// audit runs the concurrent batch engine over the whole log, reports
+// throughput and the explained fraction, and prints a sample of the
+// unexplained residue.
+func (a *app) audit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	n := fs.Int("n", 10, "maximum unexplained rows to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	workers := a.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	reports := a.auditor.ExplainAll(context.Background(), workers)
+	elapsed := time.Since(start)
+
+	explained := 0
+	var unexplained []core.AccessReport
+	for _, r := range reports {
+		if r.Explained() {
+			explained++
+		} else {
+			unexplained = append(unexplained, r)
+		}
+	}
+	total := len(reports)
+	fmt.Printf("batch-audited %d accesses in %v (%.0f accesses/sec, %d workers)\n",
+		total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), workers)
+	fmt.Printf("explained: %d (%.2f%%), unexplained: %d\n",
+		explained, 100*float64(explained)/float64(max(total, 1)), len(unexplained))
+	for i, r := range unexplained {
+		if i >= *n {
+			fmt.Printf("  ... and %d more\n", len(unexplained)-i)
+			break
+		}
+		fmt.Printf("  L%-6d %s  %-22s -> %s\n", r.Lid, r.Date, r.UserName, a.ds.PatientName(r.Patient))
+	}
 	return nil
 }
 
@@ -170,7 +225,7 @@ func (a *app) unexplained(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows := a.auditor.UnexplainedAccesses()
+	rows := a.auditor.UnexplainedAccessesParallel(context.Background(), a.parallelism)
 	log := a.ds.Log()
 	fmt.Printf("%d of %d accesses unexplained (%.2f%%)\n",
 		len(rows), log.NumRows(), 100*float64(len(rows))/float64(log.NumRows()))

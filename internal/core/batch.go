@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// batchChunk is the number of consecutive log rows a worker claims at a
+// time. Large enough to amortize the atomic claim, small enough that the
+// tail of the log still load-balances across workers.
+const batchChunk = 64
+
+// normalizeParallelism clamps a caller-supplied worker count to [1, n] with
+// GOMAXPROCS as the default for non-positive values.
+func normalizeParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// ensureMasks computes every template mask that is not yet cached, running
+// the missing templates concurrently (one evaluator clone per in-flight
+// template), and returns the full mask slice in template order. It returns
+// ctx.Err() if the context is cancelled before all masks are available.
+// Concurrent callers may duplicate work for a mask both are missing, but
+// they converge on identical values, so the cache stays consistent.
+func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([][]bool, error) {
+	a.mu.Lock()
+	nt := len(a.templates)
+	var missing []int
+	for i := 0; i < nt; i++ {
+		if _, ok := a.masks[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	a.mu.Unlock()
+
+	if len(missing) > 0 {
+		computed := make([][]bool, len(missing))
+		sem := make(chan struct{}, normalizeParallelism(parallelism))
+		var wg sync.WaitGroup
+		for k, i := range missing {
+			wg.Add(1)
+			go func(k, i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					return
+				}
+				computed[k] = a.templates[i].Evaluate(a.ev.Clone())
+			}(k, i)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a.mu.Lock()
+		for k, i := range missing {
+			a.masks[i] = computed[k]
+		}
+		a.mu.Unlock()
+	}
+
+	out := make([][]bool, nt)
+	a.mu.Lock()
+	for i := 0; i < nt; i++ {
+		out[i] = a.masks[i]
+	}
+	a.mu.Unlock()
+	return out, nil
+}
+
+// shardRows runs body(worker, lo, hi) over the half-open row ranges of a
+// dynamic worker pool: workers claim batchChunk-row shards from an atomic
+// counter until the log is exhausted or ctx is cancelled. It is the shared
+// scaffolding of every batch method.
+func shardRows(ctx context.Context, n, parallelism int, body func(worker, lo, hi int)) error {
+	workers := normalizeParallelism(parallelism)
+	if workers > (n+batchChunk-1)/batchChunk && n > 0 {
+		workers = (n + batchChunk - 1) / batchChunk
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(batchChunk)) - batchChunk
+				if lo >= n || ctx.Err() != nil {
+					return
+				}
+				hi := lo + batchChunk
+				if hi > n {
+					hi = n
+				}
+				body(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ExplainAll builds the report for every log row using a pool of parallelism
+// workers (non-positive means GOMAXPROCS), each with its own evaluator
+// cursor. Reports are returned in log-row order and are identical to what a
+// sequential ExplainRow(r, 0) loop produces — the differential tests pin
+// this down — so callers can switch between the two freely. Template masks
+// are computed first (concurrently, for the templates not already cached)
+// and reused by every worker.
+//
+// ExplainAll returns nil if ctx is cancelled before the batch completes; it
+// never returns a partially filled slice.
+func (a *Auditor) ExplainAll(ctx context.Context, parallelism int) []AccessReport {
+	n := a.ev.Log().NumRows()
+	masks, err := a.ensureMasks(ctx, parallelism)
+	if err != nil {
+		return nil
+	}
+	maskOf := func(i int) []bool { return masks[i] }
+
+	out := make([]AccessReport, n)
+	workers := normalizeParallelism(parallelism)
+	cursors := make([]*query.Evaluator, workers)
+	for w := range cursors {
+		cursors[w] = a.ev.Clone()
+	}
+	err = shardRows(ctx, n, workers, func(w, lo, hi int) {
+		ev := cursors[w]
+		for r := lo; r < hi; r++ {
+			out[r] = a.explainRowWith(ev, maskOf, r, 0)
+		}
+	})
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// UnexplainedAccessesParallel is the concurrent counterpart of
+// UnexplainedAccesses: it computes the template masks with a worker pool,
+// then scans log-row shards in parallel for rows no template explains. The
+// returned row indexes are in ascending order, identical to the sequential
+// result. It returns nil if ctx is cancelled first.
+func (a *Auditor) UnexplainedAccessesParallel(ctx context.Context, parallelism int) []int {
+	masks, err := a.ensureMasks(ctx, parallelism)
+	if err != nil {
+		return nil
+	}
+	n := a.ev.Log().NumRows()
+	workers := normalizeParallelism(parallelism)
+	perShard := make([][]int, (n+batchChunk-1)/batchChunk)
+	err = shardRows(ctx, n, workers, func(w, lo, hi int) {
+		var local []int
+		for r := lo; r < hi; r++ {
+			explained := false
+			for _, m := range masks {
+				if m[r] {
+					explained = true
+					break
+				}
+			}
+			if !explained {
+				local = append(local, r)
+			}
+		}
+		perShard[lo/batchChunk] = local
+	})
+	if err != nil {
+		return nil
+	}
+	var out []int
+	for _, s := range perShard {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// ExplainedFractionParallel is the concurrent counterpart of
+// ExplainedFraction, computing the template masks with a worker pool before
+// taking the union. It returns 0 if ctx is cancelled first.
+func (a *Auditor) ExplainedFractionParallel(ctx context.Context, parallelism int) float64 {
+	masks, err := a.ensureMasks(ctx, parallelism)
+	if err != nil || len(masks) == 0 {
+		return 0
+	}
+	return metrics.Fraction(metrics.Union(masks...))
+}

@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ehr"
+	"repro/internal/explain"
+)
+
+// buildSeededAuditor builds a fully configured auditor (groups plus the
+// complete hand-crafted catalog) over a Tiny hospital generated with the
+// given seed.
+func buildSeededAuditor(t testing.TB, seed int64) *core.Auditor {
+	t.Helper()
+	cfg := ehr.Tiny()
+	cfg.Seed = seed
+	ds := ehr.Generate(cfg)
+	a := core.NewAuditor(ds.DB, ehr.SchemaGraph(ehr.DefaultGraphOptions()), core.WithNamer(ds))
+	a.BuildGroups(core.GroupsOptions{})
+	a.AddTemplates(explain.Handcrafted(true, true).All()...)
+	return a
+}
+
+// TestExplainAllMatchesSequential is the batch engine's differential oracle:
+// on three differently seeded datasets, ExplainAll at every parallelism
+// level must produce reports byte-for-byte identical to a sequential
+// ExplainRow loop, and the parallel unexplained/fraction variants must match
+// their sequential counterparts exactly.
+func TestExplainAllMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3} {
+		a := buildSeededAuditor(t, seed)
+		n := a.Evaluator().Log().NumRows()
+		if n == 0 {
+			t.Fatalf("seed %d: empty log", seed)
+		}
+
+		want := make([]core.AccessReport, n)
+		for r := 0; r < n; r++ {
+			want[r] = a.ExplainRow(r, 0)
+		}
+		wantUnexplained := a.UnexplainedAccesses()
+		wantFraction := a.ExplainedFraction()
+
+		for _, par := range []int{1, 2, 4, 8} {
+			got := a.ExplainAll(ctx, par)
+			if !reflect.DeepEqual(got, want) {
+				for r := range want {
+					if !reflect.DeepEqual(got[r], want[r]) {
+						t.Fatalf("seed %d parallelism %d: report for row %d differs:\n got %+v\nwant %+v",
+							seed, par, r, got[r], want[r])
+					}
+				}
+				t.Fatalf("seed %d parallelism %d: reports differ", seed, par)
+			}
+			if gotU := a.UnexplainedAccessesParallel(ctx, par); !reflect.DeepEqual(gotU, wantUnexplained) {
+				t.Errorf("seed %d parallelism %d: UnexplainedAccessesParallel = %v, want %v",
+					seed, par, gotU, wantUnexplained)
+			}
+			if gotF := a.ExplainedFractionParallel(ctx, par); gotF != wantFraction {
+				t.Errorf("seed %d parallelism %d: ExplainedFractionParallel = %v, want %v",
+					seed, par, gotF, wantFraction)
+			}
+		}
+	}
+}
+
+// TestExplainAllColdMasks runs the batch path on a freshly configured
+// auditor whose mask cache is empty, so the concurrent mask computation
+// (rather than only the per-row sharding) is exercised, then checks the
+// result against a second, identically seeded auditor evaluated
+// sequentially.
+func TestExplainAllColdMasks(t *testing.T) {
+	ctx := context.Background()
+	batch := buildSeededAuditor(t, 7)
+	seq := buildSeededAuditor(t, 7)
+
+	got := batch.ExplainAll(ctx, 4)
+	n := seq.Evaluator().Log().NumRows()
+	if len(got) != n {
+		t.Fatalf("ExplainAll returned %d reports, want %d", len(got), n)
+	}
+	for r := 0; r < n; r++ {
+		want := seq.ExplainRow(r, 0)
+		if !reflect.DeepEqual(got[r], want) {
+			t.Fatalf("row %d: batch report %+v != sequential %+v", r, got[r], want)
+		}
+	}
+}
+
+// TestExplainAllCancelled: a pre-cancelled context yields nil results, not a
+// partially filled slice.
+func TestExplainAllCancelled(t *testing.T) {
+	a := buildSeededAuditor(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := a.ExplainAll(ctx, 4); got != nil {
+		t.Errorf("ExplainAll with cancelled ctx = %d reports, want nil", len(got))
+	}
+	if got := a.UnexplainedAccessesParallel(ctx, 4); got != nil {
+		t.Errorf("UnexplainedAccessesParallel with cancelled ctx = %v, want nil", got)
+	}
+	if got := a.ExplainedFractionParallel(ctx, 4); got != 0 {
+		t.Errorf("ExplainedFractionParallel with cancelled ctx = %v, want 0", got)
+	}
+}
+
+// TestExplainAllSharedAuditorRace exercises the advertised concurrency
+// contract under the race detector: several goroutines run the batch
+// methods at parallelism 8 over one shared Auditor — starting from a cold
+// mask cache so concurrent mask computation and lazy table-index
+// construction race against each other — and every run must agree with the
+// sequential baseline.
+func TestExplainAllSharedAuditorRace(t *testing.T) {
+	a := buildSeededAuditor(t, 5)
+	baseline := buildSeededAuditor(t, 5)
+	n := baseline.Evaluator().Log().NumRows()
+	want := make([]core.AccessReport, n)
+	for r := 0; r < n; r++ {
+		want[r] = baseline.ExplainRow(r, 0)
+	}
+	wantUnexplained := baseline.UnexplainedAccesses()
+	wantFraction := baseline.ExplainedFraction()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := a.ExplainAll(ctx, 8); !reflect.DeepEqual(got, want) {
+				t.Error("concurrent ExplainAll diverged from sequential baseline")
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := a.UnexplainedAccessesParallel(ctx, 8); !reflect.DeepEqual(got, wantUnexplained) {
+				t.Error("concurrent UnexplainedAccessesParallel diverged")
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := a.ExplainedFractionParallel(ctx, 8); got != wantFraction {
+				t.Errorf("concurrent ExplainedFractionParallel = %v, want %v", got, wantFraction)
+			}
+		}()
+	}
+	wg.Wait()
+}

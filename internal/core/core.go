@@ -10,11 +10,19 @@
 //     administrator to review (§3);
 //   - misuse detection: surface the accesses that no template explains, the
 //     shortlist a compliance office would investigate (§1).
+//
+// Auditing every access in a hospital-scale log is embarrassingly parallel
+// across log rows, so the package also provides a concurrent batch engine:
+// ExplainAll, UnexplainedAccessesParallel, and ExplainedFractionParallel
+// shard the log over a worker pool of cloned evaluator cursors and produce
+// results identical to their sequential counterparts (see the Auditor type
+// comment for the concurrency contract).
 package core
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/accesslog"
 	"repro/internal/explain"
@@ -30,7 +38,17 @@ import (
 // Auditor answers explanation queries over one database and access log.
 // Construct it with NewAuditor, optionally add collaborative groups with
 // BuildGroups, then register templates (hand-crafted, mined, or both).
-// Auditor is not safe for concurrent use.
+//
+// # Concurrency contract
+//
+// Configuration (NewAuditor, BuildGroups, AddTemplates) requires exclusive
+// access. Once configured, the batch methods — ExplainAll,
+// UnexplainedAccessesParallel, ExplainedFractionParallel — are safe to call
+// concurrently with each other: they fan work out to per-worker evaluator
+// cursors (query.Evaluator.Clone) and guard the shared template-mask cache
+// with a mutex. The single-row methods (ExplainRow, PatientReport,
+// UnexplainedAccesses, ExplainedFraction) share one evaluator cursor and
+// must not run concurrently with anything else on the same Auditor.
 type Auditor struct {
 	db    *relation.Database
 	graph *schemagraph.Graph
@@ -38,6 +56,10 @@ type Auditor struct {
 	namer explain.Namer
 
 	templates []explain.Template
+
+	// mu guards masks. Stored mask slices are never mutated after being
+	// published, so they may be read outside the lock once retrieved.
+	mu sync.Mutex
 	// masks caches Evaluate results per template index.
 	masks map[int][]bool
 }
@@ -107,7 +129,9 @@ func (a *Auditor) BuildGroups(opt GroupsOptions) *groups.Hierarchy {
 	a.db.AddTable(h.Table(opt.TableName))
 	// Rebinding is unnecessary (the evaluator holds the same *Database), but
 	// cached masks may predate the table; clear them.
+	a.mu.Lock()
 	a.masks = make(map[int][]bool)
+	a.mu.Unlock()
 	return h
 }
 
@@ -131,12 +155,19 @@ func (a *Auditor) MineTemplates(algo string, opt mine.Options) (mine.Result, err
 }
 
 // mask returns (computing on demand) the explained-rows mask of template i.
+// Computation uses the auditor's own cursor, so this is part of the
+// single-threaded API; the batch path precomputes masks via ensureMasks.
 func (a *Auditor) mask(i int) []bool {
+	a.mu.Lock()
 	if m, ok := a.masks[i]; ok {
+		a.mu.Unlock()
 		return m
 	}
+	a.mu.Unlock()
 	m := a.templates[i].Evaluate(a.ev)
+	a.mu.Lock()
 	a.masks[i] = m
+	a.mu.Unlock()
 	return m
 }
 
@@ -160,9 +191,19 @@ type AccessReport struct {
 // Explained reports whether any template explains the access.
 func (r AccessReport) Explained() bool { return len(r.Explanations) > 0 }
 
-// ExplainRow builds the report for one log row index.
+// ExplainRow builds the report for one log row index. It runs on the
+// auditor's own cursor and is part of the single-threaded API; ExplainAll is
+// the concurrent batch equivalent and produces identical reports.
 func (a *Auditor) ExplainRow(row int, maxPerTemplate int) AccessReport {
-	log := a.ev.Log()
+	return a.explainRowWith(a.ev, a.mask, row, maxPerTemplate)
+}
+
+// explainRowWith builds the report for one log row using the given cursor
+// and mask source. It is the single code path behind both ExplainRow and the
+// batch workers of ExplainAll, which is what guarantees the two APIs return
+// byte-for-byte identical reports.
+func (a *Auditor) explainRowWith(ev *query.Evaluator, maskOf func(int) []bool, row, maxPerTemplate int) AccessReport {
+	log := ev.Log()
 	if maxPerTemplate <= 0 {
 		maxPerTemplate = 3
 	}
@@ -174,10 +215,10 @@ func (a *Auditor) ExplainRow(row int, maxPerTemplate int) AccessReport {
 	}
 	rep.UserName = a.namer.UserName(rep.User)
 	for i, t := range a.templates {
-		if !a.mask(i)[row] {
+		if !maskOf(i)[row] {
 			continue
 		}
-		for _, text := range t.Render(a.ev, row, maxPerTemplate, a.namer) {
+		for _, text := range t.Render(ev, row, maxPerTemplate, a.namer) {
 			rep.Explanations = append(rep.Explanations, Explanation{
 				Template: t.Name(), Length: t.Length(), Text: text,
 			})

@@ -76,15 +76,35 @@ func (RepeatAccess) Evaluate(ev *query.Evaluator) []bool {
 	return out
 }
 
-// Render implements Template.
+// Render implements Template. Unlike Evaluate, which classifies the whole
+// log in one pass, Render decides a single row: it resolves the user's
+// history rows through the log's hash index on Log.User and looks for a
+// strictly earlier access to the same patient, so rendering one access costs
+// O(accesses by that user) rather than a full log scan.
 func (RepeatAccess) Render(ev *query.Evaluator, logRow, limit int, n Namer) []string {
-	mask := RepeatAccess{}.Evaluate(ev)
-	if logRow < 0 || logRow >= len(mask) || !mask[logRow] {
+	audited := ev.Log()
+	if logRow < 0 || logRow >= audited.NumRows() {
 		return nil
 	}
-	log := ev.Log()
-	u := log.Get(logRow, pathmodel.LogUserColumn)
-	p := log.Get(logRow, pathmodel.LogPatientColumn)
-	return []string{fmt.Sprintf("%s previously accessed %s's record.",
-		n.UserName(u), n.PatientName(p))}
+	u := audited.Get(logRow, pathmodel.LogUserColumn)
+	p := audited.Get(logRow, pathmodel.LogPatientColumn)
+	date := audited.Get(logRow, pathmodel.LogDateColumn).AsInt()
+	lid := audited.Get(logRow, pathmodel.LogIDColumn).AsInt()
+
+	history := ev.Database().MustTable(pathmodel.LogTable)
+	hdi, _ := history.ColumnIndex(pathmodel.LogDateColumn)
+	hpi, _ := history.ColumnIndex(pathmodel.LogPatientColumn)
+	hli, _ := history.ColumnIndex(pathmodel.LogIDColumn)
+	for _, r := range history.Index(pathmodel.LogUserColumn)[u] {
+		row := history.Row(r)
+		if row[hpi] != p {
+			continue
+		}
+		hd, hl := row[hdi].AsInt(), row[hli].AsInt()
+		if hd < date || (hd == date && hl < lid) {
+			return []string{fmt.Sprintf("%s previously accessed %s's record.",
+				n.UserName(u), n.PatientName(p))}
+		}
+	}
+	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/ehr"
+	"repro/internal/explain"
+	"repro/internal/groups"
 	"repro/internal/mine"
 	"repro/internal/pathmodel"
 	"repro/internal/query"
@@ -79,6 +81,61 @@ func TestMinedTemplatesAgreeWithNaive(t *testing.T) {
 	}
 	if checked < 5 {
 		t.Fatalf("only %d templates checked", checked)
+	}
+}
+
+// TestHandcraftedSupportAgreesAcrossSeeds differentially validates the three
+// support implementations — indexed DISTINCT/semi-join (Support), indexed
+// per-row nested join (SupportNaive), and the fully index-free linear-scan
+// baseline (SupportScan) — over the complete hand-crafted template catalog
+// on three differently seeded hospitals. Because Support and SupportScan
+// share no join machinery (and SupportScan never consults the lazy index
+// caches), agreement across all three pins down both the DISTINCT
+// optimization and the hash-index resolution at once.
+func TestHandcraftedSupportAgreesAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := ehr.Tiny()
+		cfg.Seed = seed
+		ds := ehr.Generate(cfg)
+		// Install the Groups table the length-4 group templates join against.
+		h := groups.BuildHierarchy(groups.BuildUserGraph(ds.Log()), 8)
+		ds.DB.AddTable(h.Table("Groups"))
+		ev := query.NewEvaluator(ds.DB)
+
+		for _, tpl := range explain.Handcrafted(true, true).All() {
+			pt, ok := tpl.(*explain.PathTemplate)
+			if !ok {
+				continue // the decorated repeat-access template has no simple path
+			}
+			got := ev.Support(pt.Path)
+			if naive := ev.SupportNaive(pt.Path); naive != got {
+				t.Errorf("seed %d, %s: Support = %d, SupportNaive = %d", seed, pt.Name(), got, naive)
+			}
+			if scan := ev.SupportScan(pt.Path); scan != got {
+				t.Errorf("seed %d, %s: Support = %d, SupportScan = %d", seed, pt.Name(), got, scan)
+			}
+		}
+	}
+}
+
+// TestCloneAgreesWithParent: a cloned cursor shares the engine, so it must
+// return identical results to its parent — including when the parent has
+// already warmed the lazy table indexes and when it has not — while keeping
+// independent statistics counters.
+func TestCloneAgreesWithParent(t *testing.T) {
+	ev := query.NewEvaluator(figure3DB())
+	p := apptTemplate(t)
+
+	clone := ev.Clone()
+	if got, want := clone.Support(p), ev.Support(p); got != want {
+		t.Errorf("clone Support = %d, parent = %d", got, want)
+	}
+	if ev.QueriesEvaluated() != 1 || clone.QueriesEvaluated() != 1 {
+		t.Errorf("counters not independent: parent=%d clone=%d",
+			ev.QueriesEvaluated(), clone.QueriesEvaluated())
+	}
+	if clone.Database() != ev.Database() || clone.Log() != ev.Log() {
+		t.Error("clone does not share the engine")
 	}
 }
 

@@ -12,6 +12,23 @@
 //
 // It also enumerates explanation instances (the bound tuple chains behind an
 // individual access) so that templates can be rendered in natural language.
+//
+// # Concurrency contract
+//
+// An Evaluator is split into two parts. The immutable engine — the database
+// binding, the audited log, and the start/end column projections — is built
+// once by NewEvaluatorWithLog and shared by every evaluator cloned from it.
+// The Evaluator itself is a cheap cursor over that engine: it carries only
+// the per-caller statistics counters, so Clone costs one small allocation.
+//
+// A single Evaluator is NOT safe for concurrent use (its counters are plain
+// ints, and the compiled plans it produces are built against lazily indexed
+// tables). The supported concurrent pattern is one cursor per goroutine:
+// clones of one evaluator may run queries concurrently because the engine is
+// never written after construction and relation.Table serializes lazy index
+// construction internally. The only additional requirement is the table
+// contract: no table reachable from the database may be Appended while
+// queries run (see relation.Table).
 package query
 
 import (
@@ -19,17 +36,27 @@ import (
 	"repro/internal/relation"
 )
 
-// Evaluator executes paths against one database. It caches per-path
-// compiled plans and the log column projections. An Evaluator is not safe
-// for concurrent use.
-type Evaluator struct {
+// engine is the immutable, shareable part of an Evaluator: the database, the
+// audited log, and the log column projections. It is written only during
+// NewEvaluatorWithLog; afterwards any number of cursors may read it
+// concurrently.
+type engine struct {
 	db  *relation.Database
 	log *relation.Table
 
 	logPatients []relation.Value
 	logUsers    []relation.Value
+}
 
-	// stats counters for mining-performance experiments.
+// Evaluator executes paths against one database. It is a cheap per-caller
+// cursor over a shared immutable engine; see the package comment for the
+// concurrency contract. An individual Evaluator is not safe for concurrent
+// use — use Clone to give each goroutine its own cursor.
+type Evaluator struct {
+	*engine
+
+	// stats counters for mining-performance experiments. Per-cursor: queries
+	// run through a clone are counted on that clone only.
 	queriesEvaluated int
 	estimatesIssued  int
 }
@@ -50,7 +77,7 @@ func NewEvaluator(db *relation.Database) *Evaluator {
 // match itself in the test set.
 func NewEvaluatorWithLog(db *relation.Database, audited *relation.Table) *Evaluator {
 	log := audited
-	ev := &Evaluator{db: db, log: log}
+	eng := &engine{db: db, log: log}
 	pi, ok := log.ColumnIndex(pathmodel.LogPatientColumn)
 	if !ok {
 		panic("query: Log table lacks Patient column")
@@ -60,14 +87,22 @@ func NewEvaluatorWithLog(db *relation.Database, audited *relation.Table) *Evalua
 		panic("query: Log table lacks User column")
 	}
 	n := log.NumRows()
-	ev.logPatients = make([]relation.Value, n)
-	ev.logUsers = make([]relation.Value, n)
+	eng.logPatients = make([]relation.Value, n)
+	eng.logUsers = make([]relation.Value, n)
 	for r := 0; r < n; r++ {
 		row := log.Row(r)
-		ev.logPatients[r] = row[pi]
-		ev.logUsers[r] = row[ui]
+		eng.logPatients[r] = row[pi]
+		eng.logUsers[r] = row[ui]
 	}
-	return ev
+	return &Evaluator{engine: eng}
+}
+
+// Clone returns a new cursor over the same immutable engine: same database,
+// log, and projections, but fresh statistics counters. The clone may be used
+// concurrently with the receiver and with other clones; this is the
+// primitive the batch auditing engine hands to each worker.
+func (ev *Evaluator) Clone() *Evaluator {
+	return &Evaluator{engine: ev.engine}
 }
 
 // Database returns the database the evaluator is bound to.

@@ -3,16 +3,37 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Table is an in-memory relation: a named list of columns and a list of rows.
 // Rows are append-only; the engine never updates in place, which keeps the
 // lazily built hash indexes valid for the lifetime of the table.
+//
+// # Concurrency and index invalidation
+//
+// A Table supports two phases. During the load phase, Append requires
+// exclusive access (no concurrent readers or writers) and invalidates every
+// cached index, because row positions referenced by an index built earlier
+// would otherwise go stale. During the query phase, any number of goroutines
+// may call the read-side methods (Row, Get, Index, DistinctPairs,
+// DistinctValues, NumDistinct, ...) concurrently: lazy index construction is
+// serialized by an internal mutex, and a map returned by Index or
+// DistinctPairs is immutable once published, so callers may read it without
+// further locking. The contract is therefore "single-writer load, then
+// many-reader query"; interleaving Append with concurrent reads is a data
+// race on the row slice itself and is not supported.
 type Table struct {
 	name    string
 	columns []string
 	colIdx  map[string]int
 	rows    [][]Value
+
+	// mu serializes lazy construction and invalidation of the caches below;
+	// cache hits take only the read lock, so concurrent queries do not
+	// contend once an index is built. Built index maps are never mutated
+	// after being stored, so they can be returned and read outside the lock.
+	mu sync.RWMutex
 
 	// indexes maps a column index to a hash index over that column. Built
 	// lazily by Index and invalidated by Append (appends drop indexes; all
@@ -64,14 +85,19 @@ func (t *Table) HasColumn(name string) bool {
 	return ok
 }
 
-// Append adds a row. The row length must match the number of columns.
+// Append adds a row and invalidates all cached indexes (their row numbers
+// and projections would be stale). The row length must match the number of
+// columns. Append requires exclusive access to the table; see the type
+// comment for the concurrency contract.
 func (t *Table) Append(row ...Value) {
 	if len(row) != len(t.columns) {
 		panic(fmt.Sprintf("relation: table %q expects %d values, got %d", t.name, len(t.columns), len(row)))
 	}
 	t.rows = append(t.rows, append([]Value(nil), row...))
+	t.mu.Lock()
 	t.indexes = nil
 	t.pairIndexes = nil
+	t.mu.Unlock()
 }
 
 // Row returns the i-th row. The returned slice must not be modified.
@@ -87,19 +113,29 @@ func (t *Table) Get(i int, column string) Value {
 }
 
 // Index returns a hash index from values of the named column to the row
-// numbers holding that value. The index is built on first use and cached.
+// numbers holding that value. The index is built on first use and cached;
+// concurrent callers are safe, and the returned map is immutable (callers
+// must treat it as read-only).
 func (t *Table) Index(column string) map[Value][]int {
 	ci, ok := t.colIdx[column]
 	if !ok {
 		panic(fmt.Sprintf("relation: table %q has no column %q", t.name, column))
 	}
+	t.mu.RLock()
+	idx, ok := t.indexes[ci]
+	t.mu.RUnlock()
+	if ok {
+		return idx
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.indexes == nil {
 		t.indexes = make(map[int]map[Value][]int)
 	}
 	if idx, ok := t.indexes[ci]; ok {
 		return idx
 	}
-	idx := make(map[Value][]int)
+	idx = make(map[Value][]int)
 	for r, row := range t.rows {
 		idx[row[ci]] = append(idx[row[ci]], r)
 	}
@@ -111,7 +147,9 @@ func (t *Table) Index(column string) map[Value][]int {
 // each from-value to the sorted, de-duplicated set of to-values paired with
 // it. This is the engine-level form of the paper's "Reducing Result
 // Multiplicity" optimization (§3.2.1): support counting only cares whether a
-// connecting tuple exists, so duplicates are removed before joining.
+// connecting tuple exists, so duplicates are removed before joining. Like
+// Index, the projection is built on first use under the table lock and the
+// returned map is immutable, so concurrent callers are safe.
 func (t *Table) DistinctPairs(from, to string) map[Value][]Value {
 	fi, ok := t.colIdx[from]
 	if !ok {
@@ -122,6 +160,14 @@ func (t *Table) DistinctPairs(from, to string) map[Value][]Value {
 		panic(fmt.Sprintf("relation: table %q has no column %q", t.name, to))
 	}
 	key := [2]int{fi, ti}
+	t.mu.RLock()
+	m, cached := t.pairIndexes[key]
+	t.mu.RUnlock()
+	if cached {
+		return m
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.pairIndexes == nil {
 		t.pairIndexes = make(map[[2]int]map[Value][]Value)
 	}
@@ -129,7 +175,7 @@ func (t *Table) DistinctPairs(from, to string) map[Value][]Value {
 		return m
 	}
 	seen := make(map[[2]Value]struct{}, len(t.rows))
-	m := make(map[Value][]Value)
+	m = make(map[Value][]Value)
 	for _, row := range t.rows {
 		p := [2]Value{row[fi], row[ti]}
 		if _, dup := seen[p]; dup {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -209,5 +210,49 @@ func TestDatabase(t *testing.T) {
 	}
 	if s := db.Summary(); len(s) != 1 {
 		t.Errorf("Summary = %v", s)
+	}
+}
+
+// TestConcurrentIndexBuild races many goroutines through the lazy index and
+// projection builders of one table (run under -race): all callers must
+// observe the same published maps, and cache hits after the build must
+// return the identical map instance.
+func TestConcurrentIndexBuild(t *testing.T) {
+	tb := NewTable("Events", "Patient", "Doctor")
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		tb.Append(Int(int64(rng.Intn(40))), Int(int64(rng.Intn(12))))
+	}
+
+	const workers = 8
+	indexes := make([]map[Value][]int, workers)
+	pairs := make([]map[Value][]Value, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Alternate call order so builders and cache hits interleave.
+			if w%2 == 0 {
+				indexes[w] = tb.Index("Patient")
+				pairs[w] = tb.DistinctPairs("Patient", "Doctor")
+			} else {
+				pairs[w] = tb.DistinctPairs("Patient", "Doctor")
+				indexes[w] = tb.Index("Patient")
+			}
+			if tb.NumDistinct("Doctor") == 0 {
+				t.Error("NumDistinct = 0")
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(indexes[w], indexes[0]) {
+			t.Fatalf("worker %d observed a different Patient index", w)
+		}
+		if !reflect.DeepEqual(pairs[w], pairs[0]) {
+			t.Fatalf("worker %d observed a different pair projection", w)
+		}
 	}
 }
