@@ -11,6 +11,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -220,6 +221,115 @@ func BenchmarkHeadline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Headline(e)
+	}
+}
+
+// --- prepared-plan benchmarks ----------------------------------------------
+
+// BenchmarkPreparedReuse measures what the engine-level plan cache buys on
+// the mask-evaluation hot path: repeated row classification through one
+// prepared handle (plan, backward feasible-start set, and forward reach
+// memo compiled/computed once, shared by every cursor) against a
+// compile-each-time baseline that drops the cache before every evaluation.
+// With a warm handle each evaluation allocates only the output mask, so
+// allocs/op collapse versus recompilation — the open case re-runs the
+// backward pass every time, the closed case re-propagates every distinct
+// patient.
+func BenchmarkPreparedReuse(b *testing.B) {
+	e := smallEnv(b)
+	closed := explain.GroupTemplate("appt-same-group", "Appointments", "an appointment").Path
+	open := explain.NewIndicator("appt", "Appointments").Path
+
+	b.Run("open/prepared", func(b *testing.B) {
+		ev := query.NewEvaluator(e.DS.DB)
+		pp := ev.Prepare(open)
+		pp.ConnectedRows() // warm the shared feasible-start set
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(pp.ConnectedRows()) == 0 {
+				b.Fatal("empty mask")
+			}
+		}
+	})
+	b.Run("open/recompile", func(b *testing.B) {
+		ev := query.NewEvaluator(e.DS.DB)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.InvalidatePlans()
+			if len(ev.ConnectedRows(open)) == 0 {
+				b.Fatal("empty mask")
+			}
+		}
+	})
+	b.Run("closed/prepared", func(b *testing.B) {
+		ev := query.NewEvaluator(e.DS.DB)
+		pp := ev.Prepare(closed)
+		pp.ExplainedRows() // warm the shared reach memo
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(pp.ExplainedRows()) == 0 {
+				b.Fatal("empty mask")
+			}
+		}
+	})
+	b.Run("closed/recompile", func(b *testing.B) {
+		ev := query.NewEvaluator(e.DS.DB)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.InvalidatePlans()
+			if len(ev.ExplainedRows(closed)) == 0 {
+				b.Fatal("empty mask")
+			}
+		}
+	})
+}
+
+// benchmarkMaskSharded times computing every template mask from scratch at
+// the given worker count: ensureMasks shards each template's log-row range
+// across the pool (explain.Template.EvaluateRange over shared prepared
+// plans), so unlike BenchmarkExplainAll — whose masks are cached after the
+// first iteration — this isolates the intra-template mask sharding the
+// prepared-plan API enables.
+func benchmarkMaskSharded(b *testing.B, parallelism int) {
+	a := batchAuditor(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ResetMaskCache()
+		if f := a.ExplainedFractionParallel(ctx, parallelism); f == 0 {
+			b.Fatal("zero explained fraction")
+		}
+	}
+}
+
+// BenchmarkMaskShardedSequential is the single-worker mask-computation
+// baseline.
+func BenchmarkMaskShardedSequential(b *testing.B) { benchmarkMaskSharded(b, 1) }
+
+// BenchmarkMaskSharded4 computes masks with 4 workers; with intra-template
+// sharding even a catalog of few expensive templates scales past
+// one-worker-per-template.
+func BenchmarkMaskSharded4(b *testing.B) { benchmarkMaskSharded(b, 4) }
+
+// BenchmarkMaskSharded8 computes masks with 8 workers.
+func BenchmarkMaskSharded8(b *testing.B) { benchmarkMaskSharded(b, 8) }
+
+// BenchmarkMineParallel compares the one-way miner's candidate-evaluation
+// stage at 1 and 8 workers; results are identical, only wall-clock differs.
+func BenchmarkMineParallel(b *testing.B) {
+	graph := ehr.SchemaGraph(ehr.DefaultGraphOptions())
+	for _, par := range []int{1, 8} {
+		b.Run(fmt.Sprintf("j=%d", par), func(b *testing.B) {
+			ev, opt := miningSetup(b)
+			opt.Parallelism = par
+			for i := 0; i < b.N; i++ {
+				mine.OneWay(ev, graph, opt)
+			}
+		})
 	}
 }
 

@@ -8,15 +8,17 @@
 //
 //	ebaudit [flags] summary
 //	ebaudit [flags] patient -id N        # portal report for one patient
-//	ebaudit [flags] audit [-n N]         # batch-audit every access in parallel
+//	ebaudit [flags] audit [-n N] [-v]    # batch-audit every access in parallel
 //	ebaudit [flags] mine [-algo name]    # mine templates for review
 //	ebaudit [flags] unexplained [-n N]   # misuse-detection shortlist
 //	ebaudit [flags] groups [-depth D]    # collaborative-group composition
 //	ebaudit [flags] templates            # print the hand-crafted catalog
 //	ebaudit [flags] export -dir DIR      # dump every table as typed CSV
 //
-// The -j flag sets the worker count of the batch auditing engine (0 means
-// GOMAXPROCS); summary, audit, and unexplained all run on it.
+// The -j flag sets the worker count of the batch auditing engine and the
+// miner's candidate-evaluation stage (0 means GOMAXPROCS); summary, audit,
+// mine, and unexplained all run on it. audit -v additionally reports the
+// query engine's plan-cache hit/miss counters.
 package main
 
 import (
@@ -129,6 +131,7 @@ func (a *app) summary() error {
 func (a *app) audit(args []string) error {
 	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
 	n := fs.Int("n", 10, "maximum unexplained rows to show")
+	verbose := fs.Bool("v", false, "also report engine internals (plan-cache hit/miss counters)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,6 +158,11 @@ func (a *app) audit(args []string) error {
 		float64(total)/elapsed.Seconds(), workers)
 	fmt.Printf("explained: %d (%.2f%%), unexplained: %d\n",
 		explained, 100*float64(explained)/float64(max(total, 1)), len(unexplained))
+	if *verbose {
+		hits, misses := a.auditor.Evaluator().PlanCacheStats()
+		fmt.Printf("plan cache: %d hits, %d misses (%d compiled plans reused across %d workers)\n",
+			hits, misses, misses, workers)
+	}
 	for i, r := range unexplained {
 		if i >= *n {
 			fmt.Printf("  ... and %d more\n", len(unexplained)-i)
@@ -204,6 +212,7 @@ func (a *app) mine(args []string) error {
 	opt := mine.DefaultOptions()
 	opt.MaxLength = *maxLen
 	opt.SupportFraction = *support
+	opt.Parallelism = a.parallelism
 	res, err := a.auditor.MineTemplates(*algo, opt)
 	if err != nil {
 		return err

@@ -43,12 +43,14 @@ func main() {
 		len(res.Templates), trainLog.NumRows(),
 		res.Stats.SupportQueries, res.Stats.CacheHits, res.Stats.Skipped)
 
+	// The review pass re-evaluates each candidate's support; preparing the
+	// path reuses the plan the miner already compiled and cached.
 	fmt.Println("administrator review — the length-2 candidates:")
 	for _, p := range res.Templates {
 		if p.Length() != 2 {
 			continue
 		}
-		fmt.Printf("  support %4d  %s\n", mev.Support(p), p.String())
+		fmt.Printf("  support %4d  %s\n", mev.Prepare(p).Support(), p.String())
 	}
 
 	// Adopt every mined template (a real deployment would filter here) and

@@ -25,7 +25,10 @@ func main() {
 	auditor.AddTemplates(explain.Handcrafted(true, true).All()...)
 
 	// Batch-audit the whole log concurrently: every access gets its report in
-	// one pass, and the unexplained residue is the compliance shortlist.
+	// one pass, and the unexplained residue is the compliance shortlist. Each
+	// template's mask is itself sharded across the workers (EvaluateRange
+	// over shared prepared plans), so even this small catalog saturates the
+	// pool during mask computation.
 	reports := auditor.ExplainAll(context.Background(), runtime.NumCPU())
 	var shortlist []int
 	for row, rep := range reports {

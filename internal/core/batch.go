@@ -3,10 +3,9 @@ package core
 import (
 	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -24,9 +23,44 @@ func normalizeParallelism(p int) int {
 	return p
 }
 
-// ensureMasks computes every template mask that is not yet cached, running
-// the missing templates concurrently (one evaluator clone per in-flight
-// template), and returns the full mask slice in template order. It returns
+// minMaskShard is the smallest log-row range worth handing to a worker when
+// sharding one template's mask. Shards below this size would spend more time
+// on per-shard setup (RepeatAccess re-scans the history once per shard;
+// path templates re-memoize start-value propagation) than on classification.
+const minMaskShard = 256
+
+// maskRanges splits [0, n) into at most `workers` near-equal contiguous
+// ranges of at least minMaskShard rows each (except that a log smaller than
+// minMaskShard becomes one range). Concatenating EvaluateRange over these
+// ranges is byte-identical to a full Evaluate, per the Template contract.
+func maskRanges(n, workers int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	k := workers
+	if maxShards := n / minMaskShard; k > maxShards {
+		k = maxShards
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// ensureMasks computes every template mask that is not yet cached and
+// returns the full mask slice in template order. Each missing template is
+// sharded *within* itself into per-worker log-row ranges (Template
+// EvaluateRange), and all shards of all missing templates feed one worker
+// pool — so a workload of two expensive templates scales across every core
+// instead of two. Path-backed templates compile once through the engine's
+// shared plan cache; the shards only pay classification. It returns
 // ctx.Err() if the context is cancelled before all masks are available.
 // Concurrent callers may duplicate work for a mask both are missing, but
 // they converge on identical values, so the cache stays consistent.
@@ -42,28 +76,35 @@ func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([][]bool, e
 	a.mu.Unlock()
 
 	if len(missing) > 0 {
-		computed := make([][]bool, len(missing))
-		sem := make(chan struct{}, normalizeParallelism(parallelism))
-		var wg sync.WaitGroup
-		for k, i := range missing {
-			wg.Add(1)
-			go func(k, i int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				if ctx.Err() != nil {
-					return
-				}
-				computed[k] = a.templates[i].Evaluate(a.ev.Clone())
-			}(k, i)
+		n := a.ev.Log().NumRows()
+		workers := normalizeParallelism(parallelism)
+
+		computed := make(map[int][]bool, len(missing))
+		type shard struct{ tpl, lo, hi int }
+		var shards []shard
+		for _, i := range missing {
+			computed[i] = make([]bool, n)
+			for _, rg := range maskRanges(n, workers) {
+				shards = append(shards, shard{tpl: i, lo: rg[0], hi: rg[1]})
+			}
 		}
-		wg.Wait()
+
+		cursors := make([]*query.Evaluator, workers)
+		for w := range cursors {
+			cursors[w] = a.ev.Clone()
+		}
+		parallel.ForEach(workers, len(shards), func() bool { return ctx.Err() != nil }, func(w, k int) {
+			s := shards[k]
+			// Shards of one template write disjoint sub-slices of its
+			// mask, so no lock is needed until publication below.
+			copy(computed[s.tpl][s.lo:s.hi], a.templates[s.tpl].EvaluateRange(cursors[w], s.lo, s.hi))
+		})
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		a.mu.Lock()
-		for k, i := range missing {
-			a.masks[i] = computed[k]
+		for _, i := range missing {
+			a.masks[i] = computed[i]
 		}
 		a.mu.Unlock()
 	}
@@ -78,34 +119,20 @@ func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([][]bool, e
 }
 
 // shardRows runs body(worker, lo, hi) over the half-open row ranges of a
-// dynamic worker pool: workers claim batchChunk-row shards from an atomic
-// counter until the log is exhausted or ctx is cancelled. It is the shared
-// scaffolding of every batch method.
+// dynamic worker pool: workers claim batchChunk-row shards until the log is
+// exhausted or ctx is cancelled. It is the row-range face of the shared
+// parallel.ForEach scaffolding used by every batch method.
 func shardRows(ctx context.Context, n, parallelism int, body func(worker, lo, hi int)) error {
 	workers := normalizeParallelism(parallelism)
-	if workers > (n+batchChunk-1)/batchChunk && n > 0 {
-		workers = (n + batchChunk - 1) / batchChunk
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(batchChunk)) - batchChunk
-				if lo >= n || ctx.Err() != nil {
-					return
-				}
-				hi := lo + batchChunk
-				if hi > n {
-					hi = n
-				}
-				body(w, lo, hi)
-			}
-		}(w)
-	}
-	wg.Wait()
+	chunks := (n + batchChunk - 1) / batchChunk
+	parallel.ForEach(workers, chunks, func() bool { return ctx.Err() != nil }, func(w, c int) {
+		lo := c * batchChunk
+		hi := lo + batchChunk
+		if hi > n {
+			hi = n
+		}
+		body(w, lo, hi)
+	})
 	return ctx.Err()
 }
 

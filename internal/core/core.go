@@ -16,7 +16,11 @@
 // ExplainAll, UnexplainedAccessesParallel, and ExplainedFractionParallel
 // shard the log over a worker pool of cloned evaluator cursors and produce
 // results identical to their sequential counterparts (see the Auditor type
-// comment for the concurrency contract).
+// comment for the concurrency contract). Template masks are themselves
+// computed sharded: each template's log is split into ranges evaluated
+// concurrently via explain.Template.EvaluateRange over shared prepared
+// plans, so mask computation scales with cores even when few templates are
+// registered.
 package core
 
 import (
@@ -41,14 +45,19 @@ import (
 //
 // # Concurrency contract
 //
-// Configuration (NewAuditor, BuildGroups, AddTemplates) requires exclusive
-// access. Once configured, the batch methods — ExplainAll,
-// UnexplainedAccessesParallel, ExplainedFractionParallel — are safe to call
-// concurrently with each other: they fan work out to per-worker evaluator
-// cursors (query.Evaluator.Clone) and guard the shared template-mask cache
-// with a mutex. The single-row methods (ExplainRow, PatientReport,
-// UnexplainedAccesses, ExplainedFraction) share one evaluator cursor and
-// must not run concurrently with anything else on the same Auditor.
+// Configuration (NewAuditor, BuildGroups, AddTemplates, ResetMaskCache)
+// requires exclusive access. Once configured, the batch methods —
+// ExplainAll, UnexplainedAccessesParallel, ExplainedFractionParallel — are
+// safe to call concurrently with each other: they fan work out to
+// per-worker evaluator cursors (query.Evaluator.Clone), shard each missing
+// template mask into log-row ranges over one worker pool (so even a
+// one-template workload uses every worker), and guard the shared
+// template-mask cache with a mutex. The per-worker cursors share the query
+// engine's compiled-plan cache, so a template's path is compiled once no
+// matter how many workers evaluate its shards. The single-row methods
+// (ExplainRow, PatientReport, UnexplainedAccesses, ExplainedFraction) share
+// one evaluator cursor and must not run concurrently with anything else on
+// the same Auditor.
 type Auditor struct {
 	db    *relation.Database
 	graph *schemagraph.Graph
@@ -128,11 +137,21 @@ func (a *Auditor) BuildGroups(opt GroupsOptions) *groups.Hierarchy {
 	h := groups.BuildHierarchy(g, opt.MaxDepth)
 	a.db.AddTable(h.Table(opt.TableName))
 	// Rebinding is unnecessary (the evaluator holds the same *Database), but
-	// cached masks may predate the table; clear them.
+	// cached masks may predate the table; clear them. The evaluator's plan
+	// cache self-invalidates: AddTable bumped the database version.
+	a.ResetMaskCache()
+	return h
+}
+
+// ResetMaskCache drops every cached template mask, forcing the next batch or
+// single-row call to re-evaluate. Call it after mutating the database
+// underneath a configured auditor (the compiled-plan cache below it
+// invalidates itself via the database version, but masks are owned here).
+// It requires the same exclusive access as the other configuration methods.
+func (a *Auditor) ResetMaskCache() {
 	a.mu.Lock()
 	a.masks = make(map[int][]bool)
 	a.mu.Unlock()
-	return h
 }
 
 // AddTemplates registers explanation templates. Templates are consulted in
@@ -231,15 +250,18 @@ func (a *Auditor) explainRowWith(ev *query.Evaluator, maskOf func(int) []bool, r
 }
 
 // PatientReport is the user-centric auditing view: every access to one
-// patient's record, each with its explanations.
+// patient's record, each with its explanations. The patient's rows are
+// resolved through the log's per-patient hash index rather than a linear
+// scan, so one report costs O(accesses to that patient) plus rendering —
+// the lookup pattern a patient-facing portal serves per request.
 func (a *Auditor) PatientReport(patient relation.Value, maxPerTemplate int) []AccessReport {
 	log := a.ev.Log()
-	pi, _ := log.ColumnIndex(pathmodel.LogPatientColumn)
-	var out []AccessReport
-	for r := 0; r < log.NumRows(); r++ {
-		if log.Row(r)[pi] == patient {
-			out = append(out, a.ExplainRow(r, maxPerTemplate))
-		}
+	rows := log.Index(pathmodel.LogPatientColumn)[patient]
+	out := make([]AccessReport, 0, len(rows))
+	// Index rows are recorded in ascending row order, preserving the
+	// chronological report order of the previous full scan.
+	for _, r := range rows {
+		out = append(out, a.ExplainRow(r, maxPerTemplate))
 	}
 	return out
 }

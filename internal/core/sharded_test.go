@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/pathmodel"
+	"repro/internal/relation"
+)
+
+// TestMaskShardingDifferential verifies that masks computed with
+// intra-template sharding (many workers per template) classify every row
+// exactly as a single-worker computation: the unexplained shortlist and the
+// explained fraction must be identical on three dataset seeds, with the
+// mask cache reset between runs so each parallelism level recomputes its
+// own masks from scratch.
+func TestMaskShardingDifferential(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3} {
+		a := buildSeededAuditor(t, seed)
+		a.ResetMaskCache()
+		seqRows := a.UnexplainedAccessesParallel(ctx, 1)
+		seqFrac := a.ExplainedFractionParallel(ctx, 1)
+		for _, par := range []int{2, 5, 8} {
+			a.ResetMaskCache()
+			rows := a.UnexplainedAccessesParallel(ctx, par)
+			if !reflect.DeepEqual(rows, seqRows) {
+				t.Errorf("seed %d: unexplained rows differ at parallelism %d", seed, par)
+			}
+			if frac := a.ExplainedFractionParallel(ctx, par); frac != seqFrac {
+				t.Errorf("seed %d: fraction %v != %v at parallelism %d", seed, frac, seqFrac, par)
+			}
+		}
+	}
+}
+
+// TestResetMaskCacheRecomputes pins ResetMaskCache: dropping the cache must
+// not change any result, only force recomputation.
+func TestResetMaskCacheRecomputes(t *testing.T) {
+	a := buildSeededAuditor(t, 1)
+	ctx := context.Background()
+	before := a.UnexplainedAccessesParallel(ctx, 4)
+	a.ResetMaskCache()
+	after := a.UnexplainedAccessesParallel(ctx, 4)
+	if !reflect.DeepEqual(before, after) {
+		t.Error("results changed across ResetMaskCache")
+	}
+}
+
+// TestPatientReportMatchesScan pins the indexed PatientReport to the
+// reference full-scan implementation it replaced, for every patient in the
+// log (including order of the reports).
+func TestPatientReportMatchesScan(t *testing.T) {
+	_, a := buildAuditor(t)
+	log := a.Evaluator().Log()
+	pi, _ := log.ColumnIndex(pathmodel.LogPatientColumn)
+
+	for _, pv := range log.DistinctValues(pathmodel.LogPatientColumn) {
+		got := a.PatientReport(pv, 1)
+		k := 0
+		for r := 0; r < log.NumRows(); r++ {
+			if log.Row(r)[pi] != pv {
+				continue
+			}
+			want := a.ExplainRow(r, 1)
+			if k >= len(got) {
+				t.Fatalf("patient %v: report truncated at %d entries", pv, len(got))
+			}
+			if !reflect.DeepEqual(got[k], want) {
+				t.Fatalf("patient %v: report %d differs from scan reference", pv, k)
+			}
+			k++
+		}
+		if k != len(got) {
+			t.Errorf("patient %v: %d reports, scan found %d", pv, len(got), k)
+		}
+	}
+	if got := a.PatientReport(relation.Int(-987654), 1); len(got) != 0 {
+		t.Errorf("unknown patient returned %d reports", len(got))
+	}
+}

@@ -37,6 +37,13 @@ func (t *DecoratedTemplate) Evaluate(ev *query.Evaluator) []bool {
 	return ev.ExplainedRowsDecorated(t.Decorated)
 }
 
+// EvaluateRange implements Template. Decorated evaluation is per-row, so the
+// range form shards perfectly: disjoint ranges concatenate to exactly the
+// full Evaluate result.
+func (t *DecoratedTemplate) EvaluateRange(ev *query.Evaluator, lo, hi int) []bool {
+	return ev.ExplainedRowsDecoratedRange(t.Decorated, lo, hi)
+}
+
 // Render implements Template.
 func (t *DecoratedTemplate) Render(ev *query.Evaluator, logRow, limit int, n Namer) []string {
 	bindings := ev.InstancesDecorated(t.Decorated, logRow, limit)

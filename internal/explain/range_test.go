@@ -1,0 +1,112 @@
+package explain_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ehr"
+	"repro/internal/explain"
+	"repro/internal/groups"
+	"repro/internal/query"
+)
+
+// rangeEnv builds a tiny hospital (with trained Groups) for one seed and
+// returns an evaluator plus the full hand-crafted catalog.
+func rangeEnv(t testing.TB, seed int64) (*query.Evaluator, []explain.Template) {
+	t.Helper()
+	cfg := ehr.Tiny()
+	cfg.Seed = seed
+	ds := ehr.Generate(cfg)
+	g := groups.BuildUserGraph(ds.Log())
+	h := groups.BuildHierarchy(g, 8)
+	ds.DB.AddTable(h.Table(ehr.TableGroups))
+	return query.NewEvaluator(ds.DB), explain.Handcrafted(true, true).All()
+}
+
+// randomCuts returns a sorted partition of [0, n) as cut points, including
+// degenerate empty ranges.
+func randomCuts(rng *rand.Rand, n int) []int {
+	cuts := []int{0, n}
+	for k := rng.Intn(6); k > 0; k-- {
+		cuts = append(cuts, rng.Intn(n+1))
+	}
+	// Insertion-sort the few cut points.
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	return cuts
+}
+
+// TestEvaluateRangeStitching is the range-stitching differential: for every
+// catalog template across three dataset seeds, concatenating EvaluateRange
+// over random partitions of the log (plus the canonical halves split) must
+// be byte-identical to the full Evaluate — the contract the batch engine's
+// intra-template mask sharding relies on.
+func TestEvaluateRangeStitching(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ev, templates := rangeEnv(t, seed)
+			n := ev.Log().NumRows()
+			rng := rand.New(rand.NewSource(seed * 97))
+			for _, tpl := range templates {
+				full := tpl.Evaluate(ev)
+				if len(full) != n {
+					t.Fatalf("%s: Evaluate returned %d rows, want %d", tpl.Name(), len(full), n)
+				}
+				partitions := [][]int{{0, n / 2, n}}
+				for k := 0; k < 3; k++ {
+					partitions = append(partitions, randomCuts(rng, n))
+				}
+				for _, cuts := range partitions {
+					stitched := make([]bool, 0, n)
+					for i := 0; i+1 < len(cuts); i++ {
+						stitched = append(stitched, tpl.EvaluateRange(ev, cuts[i], cuts[i+1])...)
+					}
+					if len(stitched) != n {
+						t.Fatalf("%s: partition %v stitched to %d rows", tpl.Name(), cuts, len(stitched))
+					}
+					for r := range stitched {
+						if stitched[r] != full[r] {
+							t.Fatalf("%s: partition %v differs from Evaluate at row %d", tpl.Name(), cuts, r)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluateRangeConcurrentShards assembles every catalog template's mask
+// from concurrent shards — one goroutine per shard, each on its own cloned
+// cursor, sharing prepared plans through the engine cache — and compares
+// the result with the sequential Evaluate. Run under -race in CI, this is
+// the concurrency half of the range-stitching differential.
+func TestEvaluateRangeConcurrentShards(t *testing.T) {
+	ev, templates := rangeEnv(t, 1)
+	n := ev.Log().NumRows()
+	const shards = 7 // deliberately not a divisor of typical log sizes
+
+	for _, tpl := range templates {
+		want := tpl.Evaluate(ev)
+		got := make([]bool, n)
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				lo, hi := s*n/shards, (s+1)*n/shards
+				copy(got[lo:hi], tpl.EvaluateRange(ev.Clone(), lo, hi))
+			}(s)
+		}
+		wg.Wait()
+		for r := range got {
+			if got[r] != want[r] {
+				t.Fatalf("%s: concurrent shards differ from Evaluate at row %d", tpl.Name(), r)
+			}
+		}
+	}
+}

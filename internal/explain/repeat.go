@@ -37,9 +37,22 @@ func (RepeatAccess) SQL() string {
 // whose ids increase over time. The history comes from the evaluator's
 // *database* log, so test accesses audited against a historical log (the
 // §5.3.4 protocol) never match themselves.
-func (RepeatAccess) Evaluate(ev *query.Evaluator) []bool {
+func (t RepeatAccess) Evaluate(ev *query.Evaluator) []bool {
+	return t.EvaluateRange(ev, 0, ev.Log().NumRows())
+}
+
+// EvaluateRange implements Template. Each call scans the full history once
+// to build the earliest-access map, then classifies only the audited rows in
+// [lo, hi) — so a template sharded into k ranges pays k history scans. The
+// batch engine therefore shards this template into a handful of worker-sized
+// ranges, not per-row chunks; the history scan is a hash-map pass over the
+// log and stays cheap relative to the path templates.
+func (RepeatAccess) EvaluateRange(ev *query.Evaluator, lo, hi int) []bool {
 	history := ev.Database().MustTable(pathmodel.LogTable)
 	audited := ev.Log()
+	if lo < 0 || hi < lo || hi > audited.NumRows() {
+		panic("explain: RepeatAccess range out of bounds")
+	}
 	type pair struct{ u, p relation.Value }
 	type stamp struct{ date, lid int64 }
 	earliest := make(map[pair]stamp)
@@ -62,8 +75,8 @@ func (RepeatAccess) Evaluate(ev *query.Evaluator) []bool {
 		}
 	}
 	adi, aui, api, ali := readCols(audited)
-	out := make([]bool, audited.NumRows())
-	for r := 0; r < audited.NumRows(); r++ {
+	out := make([]bool, hi-lo)
+	for r := lo; r < hi; r++ {
 		row := audited.Row(r)
 		k := pair{row[aui], row[api]}
 		first, ok := earliest[k]
@@ -71,7 +84,7 @@ func (RepeatAccess) Evaluate(ev *query.Evaluator) []bool {
 			continue
 		}
 		s := stamp{row[adi].AsInt(), row[ali].AsInt()}
-		out[r] = s.date > first.date || (s.date == first.date && s.lid > first.lid)
+		out[r-lo] = s.date > first.date || (s.date == first.date && s.lid > first.lid)
 	}
 	return out
 }

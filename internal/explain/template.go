@@ -19,6 +19,16 @@ import (
 // Template is one explanation template: it classifies every access in the
 // evaluator's log as explained or not, and renders natural-language
 // explanation instances for individual accesses.
+//
+// Classification is range-based: EvaluateRange is the primitive, and
+// Evaluate is the full-range convenience every implementation must keep
+// consistent with it — concatenating EvaluateRange over a partition of
+// [0, NumRows) must be byte-identical to Evaluate (the range-stitching
+// differential tests enforce this for the whole catalog). Range evaluation
+// is what lets the batch auditing engine shard a single template's mask
+// across a worker pool: disjoint ranges may be evaluated concurrently, each
+// on its own evaluator cursor (query.Evaluator.Clone), with path-backed
+// templates sharing one compiled plan through the engine's plan cache.
 type Template interface {
 	// Name is a short stable identifier such as "appt-with-dr".
 	Name() string
@@ -28,8 +38,12 @@ type Template interface {
 	// SQL renders the template as its support-counting query.
 	SQL() string
 	// Evaluate returns one boolean per log row: whether this template
-	// explains that access.
+	// explains that access. It is equivalent to
+	// EvaluateRange(ev, 0, NumRows).
 	Evaluate(ev *query.Evaluator) []bool
+	// EvaluateRange classifies the half-open log-row range [lo, hi),
+	// returning hi-lo booleans: element i is Evaluate(ev)[lo+i].
+	EvaluateRange(ev *query.Evaluator, lo, hi int) []bool
 	// Render returns up to limit natural-language explanation instances for
 	// the given log row, or nil when the template does not explain it.
 	Render(ev *query.Evaluator, logRow, limit int, n Namer) []string
@@ -88,9 +102,16 @@ func (t *PathTemplate) Length() int { return t.Path.Length() }
 // SQL implements Template.
 func (t *PathTemplate) SQL() string { return t.Path.SQL() }
 
-// Evaluate implements Template.
+// Evaluate implements Template. The path is prepared through the engine's
+// shared plan cache, so repeated evaluation (or concurrent range shards)
+// compile it only once.
 func (t *PathTemplate) Evaluate(ev *query.Evaluator) []bool {
-	return ev.ExplainedRows(t.Path)
+	return ev.Prepare(t.Path).ExplainedRows()
+}
+
+// EvaluateRange implements Template.
+func (t *PathTemplate) EvaluateRange(ev *query.Evaluator, lo, hi int) []bool {
+	return ev.Prepare(t.Path).ExplainedRange(lo, hi)
 }
 
 // Render implements Template.

@@ -55,7 +55,10 @@ func Bridged(ev *query.Evaluator, g *schemagraph.Graph, opt Options, bridgeLen i
 		bwdByBridge[k] = idx
 	}
 
-	// Phase 2: assemble candidates of lengths l+1..M.
+	// Phase 2: assemble candidates of lengths l+1..M. Each length's fused
+	// candidates are collected in deterministic order and admitted as one
+	// batch, so their distinct support queries run through the parallel
+	// candidate-evaluation stage like every expansion level.
 	seen := make(map[string]bool)
 	for n := l + 1; n <= opt.MaxLength; n++ {
 		k := n - l + 1
@@ -64,12 +67,14 @@ func Bridged(ev *query.Evaluator, g *schemagraph.Graph, opt Options, bridgeLen i
 		}
 		mid := n - l - k + 1 // number of schema edges enumerated in the middle
 
+		var cands []pathmodel.Path
 		for _, f := range fwdByLen[l] {
 			if f.Closed() {
 				continue
 			}
-			m.extendAndBridge(f, mid, bwdByBridge[k], seen)
+			m.extendAndBridge(f, mid, bwdByBridge[k], seen, &cands)
 		}
+		m.admitBatch(cands)
 		m.markLength(n)
 	}
 	return m.result()
@@ -77,10 +82,10 @@ func Bridged(ev *query.Evaluator, g *schemagraph.Graph, opt Options, bridgeLen i
 
 // extendAndBridge grows f by exactly mid unchecked schema edges and then
 // attempts to fuse each result with every backward path sharing its final
-// edge. Fused candidates are support-tested through the usual admit path.
-func (m *miner) extendAndBridge(f pathmodel.Path, mid int, byBridge map[string][]pathmodel.Path, seen map[string]bool) {
+// edge. Fused candidates are appended to *cands for batch admission.
+func (m *miner) extendAndBridge(f pathmodel.Path, mid int, byBridge map[string][]pathmodel.Path, seen map[string]bool, cands *[]pathmodel.Path) {
 	if mid == 0 {
-		m.bridgeWith(f, byBridge, seen)
+		m.bridgeWith(f, byBridge, seen, cands)
 		return
 	}
 	for _, e := range m.graph.EdgesFromTable(f.LastAttr().Table) {
@@ -91,14 +96,14 @@ func (m *miner) extendAndBridge(f pathmodel.Path, mid int, byBridge map[string][
 		if cand.NumTables() > m.opt.MaxTables {
 			continue
 		}
-		m.extendAndBridge(cand, mid-1, byBridge, seen)
+		m.extendAndBridge(cand, mid-1, byBridge, seen, cands)
 	}
 }
 
 // bridgeWith fuses the open forward path p with every backward path whose
 // bridge edge equals p's final edge, replaying the backward path's remaining
 // edges in reverse so the path-construction rules vet the fused candidate.
-func (m *miner) bridgeWith(p pathmodel.Path, byBridge map[string][]pathmodel.Path, seen map[string]bool) {
+func (m *miner) bridgeWith(p pathmodel.Path, byBridge map[string][]pathmodel.Path, seen map[string]bool, cands *[]pathmodel.Path) {
 	edges := p.Edges()
 	if len(edges) == 0 {
 		return
@@ -125,7 +130,7 @@ func (m *miner) bridgeWith(p pathmodel.Path, byBridge map[string][]pathmodel.Pat
 			continue
 		}
 		seen[cand.Key()] = true
-		m.admit(cand)
+		*cands = append(*cands, cand)
 	}
 }
 

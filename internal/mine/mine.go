@@ -15,12 +15,20 @@
 //     when the optimizer estimate exceeds c times the support threshold,
 //     trading estimation error for skipped evaluations without ever
 //     discarding a path (explanations are always evaluated exactly).
+//
+// On top of the paper's optimizations, each level's distinct support
+// queries run through a parallel candidate-evaluation stage: prepared plans
+// (query.Evaluator.Prepare) evaluated on cloned cursors, Options.Parallelism
+// wide, with results — templates and statistics — identical to a sequential
+// run.
 package mine
 
 import (
+	"runtime"
 	"sort"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/pathmodel"
 	"repro/internal/query"
 	"repro/internal/schemagraph"
@@ -46,6 +54,17 @@ type Options struct {
 	// SkipConstant is the paper's c, compensating optimizer error. Only used
 	// when SkipNonSelective is set; a typical value is 10.
 	SkipConstant float64
+
+	// Parallelism is the worker count of the candidate-evaluation stage: the
+	// distinct uncached support queries of each expansion level are
+	// evaluated concurrently, each worker on its own evaluator cursor with
+	// prepared plans shared through the engine's plan cache. 0 means
+	// GOMAXPROCS; 1 evaluates inline on the miner's own cursor. The mined
+	// Result — templates and Stats — is identical at every setting; only
+	// wall-clock time changes. (When > 1, the per-cursor query counters of
+	// the evaluator handed to Run are distributed across transient worker
+	// clones; Stats.SupportQueries remains the exact count.)
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's main mining configuration: s = 1%,
@@ -116,48 +135,158 @@ func newMiner(ev *query.Evaluator, g *schemagraph.Graph, opt Options) *miner {
 	}
 }
 
-// supportOf returns the exact support of a path, consulting and filling the
-// canonical-condition cache when enabled.
-func (m *miner) supportOf(p pathmodel.Path) int {
-	if !m.opt.CacheSupport {
-		m.stats.SupportQueries++
-		return m.ev.Support(p)
+// workers returns the candidate-evaluation worker count.
+func (m *miner) workers() int {
+	if m.opt.Parallelism > 0 {
+		return m.opt.Parallelism
 	}
-	key := p.CanonicalKey()
-	if s, ok := m.cache[key]; ok {
-		m.stats.CacheHits++
-		return s
-	}
-	m.stats.SupportQueries++
-	s := m.ev.Support(p)
-	m.cache[key] = s
-	return s
+	return runtime.GOMAXPROCS(0)
 }
 
-// admit decides a candidate path's fate:
+// admitBatch runs the admission pipeline over one ordered candidate batch
+// (an expansion level, or one bridged assembly round) and returns the
+// candidates to keep for the next level:
 //
 //	keep  — supported (or skipped as non-selective); extend next level
 //	found — path is a supported explanation template (recorded internally)
-func (m *miner) admit(p pathmodel.Path) (keep bool) {
-	m.stats.CandidatesGenerated++
-	if p.NumTables() > m.opt.MaxTables || p.Length() > m.opt.MaxLength {
-		return false
+//
+// The pipeline has three stages. Structural limits and the optimizer
+// estimates run serially in candidate order (both are cheap). Exact support
+// then resolves through the canonical-key cache: within the batch, only the
+// first occurrence of each uncached key is evaluated — concurrently, via
+// prepared plans on cloned cursors — and every other occurrence is a cache
+// hit, exactly as it would be sequentially. The final admission decisions
+// replay in candidate order, so the kept frontier, the recorded templates,
+// and every Stats counter are identical to a sequential run at any
+// parallelism.
+func (m *miner) admitBatch(cands []pathmodel.Path) []pathmodel.Path {
+	const (
+		rejected = iota // structural reject or below support
+		skipped         // passed through unevaluated, per §3.2.1
+		pending         // needs exact support
+	)
+	state := make([]int, len(cands))
+	support := make([]int, len(cands))
+
+	for i, p := range cands {
+		m.stats.CandidatesGenerated++
+		if p.NumTables() > m.opt.MaxTables || p.Length() > m.opt.MaxLength {
+			state[i] = rejected
+			continue
+		}
+		if !p.Closed() && m.opt.SkipNonSelective {
+			est := m.ev.EstimateSupport(p)
+			if float64(est) > float64(m.minSupp)*m.opt.SkipConstant {
+				m.stats.Skipped++
+				state[i] = skipped
+				continue // never discarded, per §3.2.1
+			}
+		}
+		state[i] = pending
 	}
-	if !p.Closed() && m.opt.SkipNonSelective {
-		est := m.ev.EstimateSupport(p)
-		if float64(est) > float64(m.minSupp)*m.opt.SkipConstant {
-			m.stats.Skipped++
-			return true // pass through; never discarded, per §3.2.1
+
+	m.resolveSupports(cands, state, support, pending)
+
+	var kept []pathmodel.Path
+	for i, p := range cands {
+		switch state[i] {
+		case skipped:
+			kept = append(kept, p)
+		case pending:
+			if support[i] < m.minSupp {
+				continue
+			}
+			if p.Closed() {
+				m.recordExplanation(p)
+			}
+			kept = append(kept, p)
 		}
 	}
-	s := m.supportOf(p)
-	if s < m.minSupp {
-		return false
+	return kept
+}
+
+// resolveSupports fills support[i] for every candidate with state[i] ==
+// pending, consulting the canonical-key cache and evaluating the distinct
+// uncached queries concurrently.
+func (m *miner) resolveSupports(cands []pathmodel.Path, state, support []int, pending int) {
+	if !m.opt.CacheSupport {
+		// Without the cache every pending candidate is its own query.
+		var toEval []int
+		for i := range cands {
+			if state[i] == pending {
+				m.stats.SupportQueries++
+				toEval = append(toEval, i)
+			}
+		}
+		results := m.evalSupports(cands, toEval)
+		for k, i := range toEval {
+			support[i] = results[k]
+		}
+		return
 	}
-	if p.Closed() {
-		m.recordExplanation(p)
+
+	// First batch occurrence of an uncached key is the query; later
+	// occurrences (and previously cached keys) are hits, matching the
+	// sequential interleaving exactly.
+	byKey := make(map[string][]int)
+	var order []int        // representative candidate per distinct uncached key
+	var orderKeys []string // that representative's canonical key, same index
+	for i := range cands {
+		if state[i] != pending {
+			continue
+		}
+		key := cands[i].CanonicalKey()
+		if s, ok := m.cache[key]; ok {
+			m.stats.CacheHits++
+			support[i] = s
+			continue
+		}
+		if idxs, ok := byKey[key]; ok {
+			m.stats.CacheHits++
+			byKey[key] = append(idxs, i)
+			continue
+		}
+		m.stats.SupportQueries++
+		byKey[key] = []int{i}
+		order = append(order, i)
+		orderKeys = append(orderKeys, key)
 	}
-	return true
+	results := m.evalSupports(cands, order)
+	for k, key := range orderKeys {
+		s := results[k]
+		m.cache[key] = s
+		for _, i := range byKey[key] {
+			support[i] = s
+		}
+	}
+}
+
+// evalSupports evaluates the exact support of cands[i] for each i in toEval,
+// in parallel when the batch and the worker budget allow it. Every path is
+// prepared through the engine's shared plan cache, so a condition set
+// reached again at a later level (or by a sibling worker) never recompiles.
+func (m *miner) evalSupports(cands []pathmodel.Path, toEval []int) []int {
+	out := make([]int, len(toEval))
+	if len(toEval) == 0 {
+		return out
+	}
+	workers := m.workers()
+	if workers > len(toEval) {
+		workers = len(toEval)
+	}
+	// A single worker evaluates on the miner's own cursor (keeping its query
+	// counters exact); a pool gets per-worker clones.
+	cursors := []*query.Evaluator{m.ev}
+	if workers > 1 {
+		cursors = make([]*query.Evaluator, workers)
+		for w := range cursors {
+			cursors[w] = m.ev.Clone()
+		}
+	}
+	parallel.ForEach(workers, len(toEval), nil, func(w, k int) {
+		out[k] = cursors[w].Prepare(cands[toEval[k]]).Support()
+	})
+	return out
 }
 
 func (m *miner) recordExplanation(p pathmodel.Path) {
@@ -209,11 +338,13 @@ func (m *miner) appendEdge(p pathmodel.Path, e schemagraph.Edge) (pathmodel.Path
 	return cand, true
 }
 
-// expandLevel extends every open path in frontier by one connected edge,
-// admitting candidates, and returns the next frontier (including skipped
-// non-selective paths). Frontier entries are de-duplicated by exact key.
+// expandLevel extends every open path in frontier by one connected edge and
+// returns the next frontier (including skipped non-selective paths) after
+// batch admission — the candidate list is generated in deterministic order,
+// then admitted through admitBatch's parallel support stage. Frontier
+// entries are de-duplicated by exact key.
 func (m *miner) expandLevel(frontier []pathmodel.Path) []pathmodel.Path {
-	var next []pathmodel.Path
+	var cands []pathmodel.Path
 	seen := make(map[string]bool)
 	for _, p := range frontier {
 		if p.Closed() {
@@ -228,12 +359,10 @@ func (m *miner) expandLevel(frontier []pathmodel.Path) []pathmodel.Path {
 				continue
 			}
 			seen[cand.Key()] = true
-			if m.admit(cand) {
-				next = append(next, cand)
-			}
+			cands = append(cands, cand)
 		}
 	}
-	return next
+	return m.admitBatch(cands)
 }
 
 // initialPaths builds and admits the length-1 paths leaving the given log
@@ -243,17 +372,15 @@ func (m *miner) expandLevel(frontier []pathmodel.Path) []pathmodel.Path {
 // the result identical.
 func (m *miner) initialPaths(startCol string) []pathmodel.Path {
 	attr := schemagraph.Attr{Table: pathmodel.LogTable, Column: startCol}
-	var out []pathmodel.Path
+	var cands []pathmodel.Path
 	for _, e := range m.graph.EdgesFromAttr(attr) {
 		p, ok := pathmodel.StartAt(e, startCol)
 		if !ok {
 			continue
 		}
-		if m.admit(p) {
-			out = append(out, p)
-		}
+		cands = append(cands, p)
 	}
-	return out
+	return m.admitBatch(cands)
 }
 
 // OneWay runs Algorithm 1: bottom-up expansion from Log.Patient only.

@@ -1,0 +1,76 @@
+package mine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ehr"
+	"repro/internal/mine"
+)
+
+// statsEqual compares every deterministic Stats field (CumulativeTime is
+// wall-clock and excluded).
+func statsEqual(t *testing.T, name string, a, b mine.Stats) {
+	t.Helper()
+	if a.CandidatesGenerated != b.CandidatesGenerated {
+		t.Errorf("%s: CandidatesGenerated %d != %d", name, a.CandidatesGenerated, b.CandidatesGenerated)
+	}
+	if a.SupportQueries != b.SupportQueries {
+		t.Errorf("%s: SupportQueries %d != %d", name, a.SupportQueries, b.SupportQueries)
+	}
+	if a.CacheHits != b.CacheHits {
+		t.Errorf("%s: CacheHits %d != %d", name, a.CacheHits, b.CacheHits)
+	}
+	if a.Skipped != b.Skipped {
+		t.Errorf("%s: Skipped %d != %d", name, a.Skipped, b.Skipped)
+	}
+	if !reflect.DeepEqual(a.TemplatesByLength, b.TemplatesByLength) {
+		t.Errorf("%s: TemplatesByLength %v != %v", name, a.TemplatesByLength, b.TemplatesByLength)
+	}
+}
+
+// TestParallelMiningDifferential pins the parallel candidate-evaluation
+// stage: every miner must produce the identical template set AND identical
+// deterministic statistics (candidates, queries, cache hits, skips) at any
+// parallelism, with and without the support cache.
+func TestParallelMiningDifferential(t *testing.T) {
+	ev := buildTinyEvaluator(t)
+	g := ehr.SchemaGraph(ehr.DefaultGraphOptions())
+	base := mine.DefaultOptions()
+	base.MaxLength = 3
+
+	algos := []string{mine.AlgoOneWay, mine.AlgoTwoWay, mine.AlgoBridge(2)}
+	for _, algo := range algos {
+		seq := base
+		seq.Parallelism = 1
+		ref, err := mine.Run(algo, ev, g, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.Templates) == 0 {
+			t.Fatalf("%s: no templates mined", algo)
+		}
+		for _, par := range []int{2, 4, 8} {
+			opt := base
+			opt.Parallelism = par
+			got, err := mine.Run(algo, ev, g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := algo + "/parallel"
+			sameTemplates(t, name, ref, got)
+			statsEqual(t, name, ref.Stats, got.Stats)
+		}
+
+		// Without the support cache the parallel stage evaluates every
+		// pending candidate; results must still match.
+		noCache := base
+		noCache.CacheSupport = false
+		noCache.Parallelism = 4
+		got, err := mine.Run(algo, ev, g, noCache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTemplates(t, algo+"/nocache-parallel", ref, got)
+	}
+}

@@ -1,0 +1,59 @@
+// Package parallel provides the one piece of work-distribution scaffolding
+// the engine repeats everywhere: a pool of workers claiming indexes from an
+// atomic counter. The batch auditing engine (log-row chunks, template-mask
+// shards) and the miner's candidate-evaluation stage all fan out through
+// ForEach, so cancellation and load-balancing behave identically across
+// them.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs body(worker, i) for every i in [0, count), distributing
+// indexes over a pool of at most `workers` goroutines that claim work from
+// a shared atomic counter (dynamic load balancing: a slow item never
+// strands work on one worker). The worker argument is in [0, workers) and
+// lets callers give each goroutine private state such as a cloned evaluator
+// cursor. With one worker (or one item) body runs inline on the calling
+// goroutine, preserving sequential semantics exactly.
+//
+// If stop is non-nil it is polled between claims; once it returns true,
+// workers stop claiming new indexes and ForEach returns after in-flight
+// calls finish (the caller decides what a partial result means — the batch
+// engine maps it to ctx.Err()). Indexes are otherwise each processed
+// exactly once, in no particular order.
+func ForEach(workers, count int, stop func() bool, body func(worker, i int)) {
+	if count <= 0 {
+		return
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			if stop != nil && stop() {
+				return
+			}
+			body(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count || (stop != nil && stop()) {
+					return
+				}
+				body(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

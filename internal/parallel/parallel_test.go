@@ -1,0 +1,69 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversEachIndexOnce checks the core contract at several pool
+// shapes: every index processed exactly once, worker ids within range.
+func TestForEachCoversEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		const count = 57
+		var hits [count]atomic.Int32
+		var badWorker atomic.Int32
+		ForEach(workers, count, nil, func(w, i int) {
+			if w < 0 || w >= workers {
+				badWorker.Store(1)
+			}
+			hits[i].Add(1)
+		})
+		if badWorker.Load() != 0 {
+			t.Errorf("workers=%d: worker id out of range", workers)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Errorf("workers=%d: index %d processed %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestForEachSequentialOrder pins the inline single-worker path: indexes
+// arrive in order on the calling goroutine.
+func TestForEachSequentialOrder(t *testing.T) {
+	var got []int
+	ForEach(1, 5, nil, func(w, i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("processed %d of 5", len(got))
+	}
+}
+
+// TestForEachStop checks that a tripped stop prevents further claims (some
+// in-flight work may still complete) and that ForEach returns.
+func TestForEachStop(t *testing.T) {
+	var processed atomic.Int32
+	stopAfter := int32(10)
+	ForEach(4, 100000, func() bool { return processed.Load() >= stopAfter }, func(w, i int) {
+		processed.Add(1)
+	})
+	if n := processed.Load(); n >= 100000 {
+		t.Errorf("stop ignored: processed all %d", n)
+	}
+}
+
+// TestForEachDegenerate pins the empty and negative counts.
+func TestForEachDegenerate(t *testing.T) {
+	called := false
+	ForEach(4, 0, nil, func(w, i int) { called = true })
+	ForEach(4, -3, nil, func(w, i int) { called = true })
+	ForEach(0, 3, nil, func(w, i int) { called = true }) // clamped to inline
+	if !called {
+		t.Error("workers=0 should still run inline")
+	}
+}

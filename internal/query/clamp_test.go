@@ -1,0 +1,32 @@
+package query
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClampEstimate pins the float-space clamp of EstimateSupport: a huge
+// float estimate must saturate at the log size instead of overflowing int64
+// (where int(rows) wraps negative and an int-space clamp would return 0 —
+// the opposite of "non-selective").
+func TestClampEstimate(t *testing.T) {
+	cases := []struct {
+		rows float64
+		n    int
+		want int
+	}{
+		{0, 100, 0},
+		{-3.5, 100, 0},
+		{42.9, 100, 42},
+		{100, 100, 100},
+		{1e30, 100, 100},                   // would overflow int64 unclamped
+		{2 * float64(math.MaxInt64), 7, 7}, // just past the int64 edge
+		{math.Inf(1), 9, 9},
+		{math.NaN(), 9, 0},
+	}
+	for _, c := range cases {
+		if got := clampEstimate(c.rows, c.n); got != c.want {
+			t.Errorf("clampEstimate(%v, %d) = %d, want %d", c.rows, c.n, got, c.want)
+		}
+	}
+}

@@ -114,11 +114,23 @@ func (ev *Evaluator) decoratedSearch(dp pathmodel.DecoratedPath, logRow int, yie
 // instance binding of the decorated path explains it. Per Definition 3 the
 // result is always a subset of ExplainedRows of the base path.
 func (ev *Evaluator) ExplainedRowsDecorated(dp pathmodel.DecoratedPath) []bool {
+	return ev.ExplainedRowsDecoratedRange(dp, 0, len(ev.logPatients))
+}
+
+// ExplainedRowsDecoratedRange evaluates the decorated path over the
+// half-open log-row range [lo, hi), returning hi-lo booleans: element i is
+// ExplainedRowsDecorated(dp)[lo+i]. Decorated evaluation is per-row, so
+// disjoint ranges concatenate to exactly the full result; this is the range
+// primitive behind sharding a DecoratedTemplate mask across workers.
+func (ev *Evaluator) ExplainedRowsDecoratedRange(dp pathmodel.DecoratedPath, lo, hi int) []bool {
+	if lo < 0 || hi < lo || hi > len(ev.logPatients) {
+		panic("query: decorated range out of bounds")
+	}
 	ev.queriesEvaluated++
-	out := make([]bool, len(ev.logPatients))
-	for r := range out {
+	out := make([]bool, hi-lo)
+	for r := lo; r < hi; r++ {
 		ev.decoratedSearch(dp, r, func(InstanceBinding) bool {
-			out[r] = true
+			out[r-lo] = true
 			return false // first witness suffices
 		})
 	}

@@ -13,32 +13,51 @@
 // It also enumerates explanation instances (the bound tuple chains behind an
 // individual access) so that templates can be rendered in natural language.
 //
+// Evaluation is organized around prepared plans: Evaluator.Prepare compiles
+// a path once into a *Prepared handle whose Support, ExplainedRows /
+// ExplainedRange, ConnectedRows / ConnectedRange, and Instances methods
+// evaluate it without recompiling. The legacy one-shot methods (Support,
+// ExplainedRows, ConnectedRows) are conveniences that prepare and evaluate
+// in one call — because compiled plans are cached, even they stop paying
+// compilation cost after the first evaluation of a condition set.
+//
 // # Concurrency contract
 //
-// An Evaluator is split into two parts. The immutable engine — the database
-// binding, the audited log, and the start/end column projections — is built
-// once by NewEvaluatorWithLog and shared by every evaluator cloned from it.
-// The Evaluator itself is a cheap cursor over that engine: it carries only
-// the per-caller statistics counters, so Clone costs one small allocation.
+// An Evaluator is split into two parts. The engine — the database binding,
+// the audited log, the start/end column projections, and the shared plan
+// cache — is created by NewEvaluatorWithLog and shared by every evaluator
+// cloned from it. The projections are immutable after construction; the plan
+// cache is guarded by an RWMutex (and per-entry sync.Once for compilation),
+// so any number of cursors may Prepare and evaluate concurrently, reusing
+// each other's compiled plans and backward feasibleStarts sets. The cache is
+// keyed by the path's canonical condition key and is dropped wholesale when
+// relation.Database.Version reports a mutation (AddTable, or Append on any
+// registered table).
 //
-// A single Evaluator is NOT safe for concurrent use (its counters are plain
-// ints, and the compiled plans it produces are built against lazily indexed
-// tables). The supported concurrent pattern is one cursor per goroutine:
-// clones of one evaluator may run queries concurrently because the engine is
-// never written after construction and relation.Table serializes lazy index
-// construction internally. The only additional requirement is the table
-// contract: no table reachable from the database may be Appended while
-// queries run (see relation.Table).
+// The Evaluator itself is a cheap cursor over that engine: it carries only
+// the per-caller statistics counters, so Clone costs one small allocation. A
+// single cursor is NOT safe for concurrent use (its counters are plain
+// ints). The supported concurrent pattern is one cursor per goroutine: each
+// worker clones the evaluator, prepares (cheaply, through the shared cache)
+// the paths it needs, and evaluates — typically a disjoint log-row range via
+// ExplainedRange/ConnectedRange. The only additional requirement is the
+// table contract: no table reachable from the database may be Appended while
+// queries run (see relation.Table); mutations between query phases are
+// handled by the version-based cache invalidation.
 package query
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/pathmodel"
 	"repro/internal/relation"
 )
 
-// engine is the immutable, shareable part of an Evaluator: the database, the
-// audited log, and the log column projections. It is written only during
-// NewEvaluatorWithLog; afterwards any number of cursors may read it
+// engine is the shareable part of an Evaluator: the database, the audited
+// log, the log column projections, and the compiled-plan cache. The
+// projections are written only during NewEvaluatorWithLog; the plan cache is
+// internally synchronized, so any number of cursors may use the engine
 // concurrently.
 type engine struct {
 	db  *relation.Database
@@ -46,6 +65,18 @@ type engine struct {
 
 	logPatients []relation.Value
 	logUsers    []relation.Value
+
+	// planMu guards plans and planVersion. plans caches compiled plans by
+	// canonical condition key; planVersion is the database mutation version
+	// the cache was built against, and a mismatch drops the whole cache (see
+	// planEntry). Hit/miss counters are engine-wide atomics shared by all
+	// cursors.
+	planMu      sync.RWMutex
+	plans       map[string]*cachedPlan
+	planVersion uint64
+
+	planHits   atomic.Int64
+	planMisses atomic.Int64
 }
 
 // Evaluator executes paths against one database. It is a cheap per-caller
@@ -77,7 +108,7 @@ func NewEvaluator(db *relation.Database) *Evaluator {
 // match itself in the test set.
 func NewEvaluatorWithLog(db *relation.Database, audited *relation.Table) *Evaluator {
 	log := audited
-	eng := &engine{db: db, log: log}
+	eng := &engine{db: db, log: log, plans: make(map[string]*cachedPlan), planVersion: db.Version()}
 	pi, ok := log.ColumnIndex(pathmodel.LogPatientColumn)
 	if !ok {
 		panic("query: Log table lacks Patient column")
@@ -259,34 +290,11 @@ func feasibleStarts(pl plan) valueSet {
 // a closed path, the number of log entries (p, u) connected by some tuple
 // chain; for an open path, the number of log entries whose patient can start
 // a satisfiable chain. Log rows are assumed to carry distinct Lids (the
-// generator guarantees it), so the count is over rows.
+// generator guarantees it), so the count is over rows. It is the one-shot
+// convenience for Prepare(p).Support(); the compiled plan is cached, so
+// repeated calls do not recompile.
 func (ev *Evaluator) Support(p pathmodel.Path) int {
-	ev.queriesEvaluated++
-	pl := ev.compile(p)
-	starts, ends := ev.orient(p)
-	if !pl.closed {
-		f := feasibleStarts(pl)
-		n := 0
-		for _, sv := range starts {
-			if f.has(sv) {
-				n++
-			}
-		}
-		return n
-	}
-	reach := make(map[relation.Value]valueSet)
-	n := 0
-	for r, sv := range starts {
-		set, ok := reach[sv]
-		if !ok {
-			set = propagate(pl, sv)
-			reach[sv] = set
-		}
-		if set.has(ends[r]) {
-			n++
-		}
-	}
-	return n
+	return ev.Prepare(p).Support()
 }
 
 // orient returns the per-row start and end value columns for the path's
@@ -300,25 +308,14 @@ func (ev *Evaluator) orient(p pathmodel.Path) (starts, ends []relation.Value) {
 }
 
 // ExplainedRows returns, for a closed path, a boolean per log row indicating
-// whether that access is explained by the path. It panics on open paths.
+// whether that access is explained by the path. It panics on open paths. It
+// is the one-shot convenience for Prepare(p).ExplainedRows(); use the
+// prepared handle's ExplainedRange to shard the evaluation across workers.
 func (ev *Evaluator) ExplainedRows(p pathmodel.Path) []bool {
 	if !p.Closed() {
 		panic("query: ExplainedRows requires a closed path")
 	}
-	ev.queriesEvaluated++
-	pl := ev.compile(p)
-	starts, ends := ev.orient(p)
-	out := make([]bool, len(starts))
-	reach := make(map[relation.Value]valueSet)
-	for r, sv := range starts {
-		set, ok := reach[sv]
-		if !ok {
-			set = propagate(pl, sv)
-			reach[sv] = set
-		}
-		out[r] = set.has(ends[r])
-	}
-	return out
+	return ev.Prepare(p).ExplainedRows()
 }
 
 // EstimateSupport returns a cheap optimizer-style estimate of the support
@@ -361,14 +358,22 @@ func (ev *Evaluator) EstimateSupport(p pathmodel.Path) int {
 		in := insts[c.RightInst]
 		join(ev.db.MustTable(in.Table), in.Entry, in.Exit)
 	}
-	est := int(rows)
-	if est > ev.log.NumRows() {
-		est = ev.log.NumRows()
+	return clampEstimate(rows, ev.log.NumRows())
+}
+
+// clampEstimate converts a float row estimate to an int clamped to [0, n].
+// The clamp happens in float space: a huge estimate (long non-selective join
+// chains multiply quickly) would overflow int64 in the conversion and wrap
+// to a negative count, which an int-space clamp would then zero out —
+// exactly the wrong answer for the skip-non-selective decision.
+func clampEstimate(rows float64, n int) int {
+	if !(rows > 0) { // also catches NaN
+		return 0
 	}
-	if est < 0 {
-		est = 0
+	if rows > float64(n) {
+		return n
 	}
-	return est
+	return int(rows)
 }
 
 func maxf(a, b float64) float64 {
@@ -463,13 +468,5 @@ func (ev *Evaluator) ConnectedRows(p pathmodel.Path) []bool {
 	if p.Closed() {
 		panic("query: ConnectedRows requires an open path")
 	}
-	ev.queriesEvaluated++
-	pl := ev.compile(p)
-	starts, _ := ev.orient(p)
-	f := feasibleStarts(pl)
-	out := make([]bool, len(starts))
-	for r, sv := range starts {
-		out[r] = f.has(sv)
-	}
-	return out
+	return ev.Prepare(p).ConnectedRows()
 }

@@ -1,0 +1,262 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pathmodel"
+	"repro/internal/relation"
+)
+
+// Prepared is a compiled explanation path bound to one evaluator cursor: the
+// handle returned by Evaluator.Prepare. The compiled plan behind it lives in
+// the engine-level plan cache and is shared by every cursor cloned from the
+// same evaluator, so preparing the same path (or any path with the same
+// canonical condition set) on any cursor reuses one compilation, and the
+// backward feasibleStarts set of an open plan is likewise computed once and
+// shared.
+//
+// A Prepared is as concurrency-safe as the cursor it came from: the shared
+// plan entry may be read from any number of goroutines, but the handle
+// counts queries on its owning cursor, so use one handle (from one cloned
+// cursor) per goroutine. The range methods are the primitive for sharding
+// one whole-log evaluation across workers: disjoint [lo, hi) ranges
+// evaluated on per-worker cursors concatenate to exactly the full-range
+// result.
+type Prepared struct {
+	ev   *Evaluator
+	path pathmodel.Path
+	ent  *cachedPlan
+}
+
+// Prepare compiles p once and returns a reusable handle. The compiled plan
+// is looked up in (and installed into) the engine's shared plan cache keyed
+// by the path's canonical condition key, so repeated Prepare calls — from
+// this cursor or any clone — do not recompile, and two paths imposing the
+// same condition set share one plan. The cache is invalidated as a whole
+// when the database reports a new mutation version (relation.Database.Version).
+func (ev *Evaluator) Prepare(p pathmodel.Path) *Prepared {
+	ent := ev.engine.planEntry(p.CanonicalKey())
+	ent.compileOnce.Do(func() {
+		ent.pl = ev.compile(p)
+		ent.forward = p.Forward()
+	})
+	return &Prepared{ev: ev, path: p, ent: ent}
+}
+
+// Path returns the path the handle was prepared from.
+func (pp *Prepared) Path() pathmodel.Path { return pp.path }
+
+// Closed reports whether the prepared path is closed (reaches Log.User).
+func (pp *Prepared) Closed() bool { return pp.ent.pl.closed }
+
+// orient returns the per-row start and end columns for the orientation the
+// shared plan was compiled in. Two paths with equal canonical keys can
+// differ in orientation (a closed path and its reverse impose the same
+// condition set); the plan's own orientation is the one its ops expect, and
+// the explained/connected row set is orientation-invariant, so results are
+// identical either way.
+func (pp *Prepared) orient() (starts, ends []relation.Value) {
+	if pp.ent.forward {
+		return pp.ev.logPatients, pp.ev.logUsers
+	}
+	return pp.ev.logUsers, pp.ev.logPatients
+}
+
+// feasible returns the open plan's feasible-start set, computing it once per
+// cache entry and sharing it across all cursors.
+func (pp *Prepared) feasible() valueSet {
+	pp.ent.feasOnce.Do(func() { pp.ent.feas = feasibleStarts(pp.ent.pl) })
+	return pp.ent.feas
+}
+
+// checkRange validates a half-open row range against the audited log.
+func (pp *Prepared) checkRange(lo, hi int) {
+	if lo < 0 || hi < lo || hi > len(pp.ev.logPatients) {
+		panic(fmt.Sprintf("query: range [%d, %d) out of bounds for %d log rows",
+			lo, hi, len(pp.ev.logPatients)))
+	}
+}
+
+// Support returns COUNT(DISTINCT Log.Lid) of the prepared path's support
+// query, exactly as Evaluator.Support but without recompiling. Its
+// propagation state (the open path's feasible-start set, the closed path's
+// reach memo) is call-local rather than cached on the shared plan entry —
+// see the cachedPlan comment for why.
+func (pp *Prepared) Support() int {
+	pp.ev.queriesEvaluated++
+	starts, ends := pp.orient()
+	if !pp.ent.pl.closed {
+		f := feasibleStarts(pp.ent.pl)
+		n := 0
+		for _, sv := range starts {
+			if f.has(sv) {
+				n++
+			}
+		}
+		return n
+	}
+	reach := make(map[relation.Value]valueSet)
+	n := 0
+	for r, sv := range starts {
+		set, ok := reach[sv]
+		if !ok {
+			set = propagate(pp.ent.pl, sv)
+			reach[sv] = set
+		}
+		if set.has(ends[r]) {
+			n++
+		}
+	}
+	return n
+}
+
+// ExplainedRows returns one boolean per log row: whether the closed path
+// explains that access. It panics on open paths.
+func (pp *Prepared) ExplainedRows() []bool {
+	return pp.ExplainedRange(0, len(pp.ev.logPatients))
+}
+
+// ExplainedRange evaluates the closed path over the half-open log-row range
+// [lo, hi) and returns hi-lo booleans: element i is ExplainedRows()[lo+i].
+// Disjoint ranges concatenate to exactly the full-range result, which is
+// what lets one template mask be sharded across a worker pool. It panics on
+// open paths and out-of-bounds ranges. Each call counts as one evaluated
+// query on the owning cursor.
+func (pp *Prepared) ExplainedRange(lo, hi int) []bool {
+	if !pp.ent.pl.closed {
+		panic("query: ExplainedRange requires a closed path")
+	}
+	pp.checkRange(lo, hi)
+	pp.ev.queriesEvaluated++
+	starts, ends := pp.orient()
+	out := make([]bool, hi-lo)
+	for r := lo; r < hi; r++ {
+		sv := starts[r]
+		var set valueSet
+		if v, ok := pp.ent.reach.Load(sv); ok {
+			set = v.(valueSet)
+		} else {
+			set = propagate(pp.ent.pl, sv)
+			if v, loaded := pp.ent.reach.LoadOrStore(sv, set); loaded {
+				set = v.(valueSet)
+			}
+		}
+		out[r-lo] = set.has(ends[r])
+	}
+	return out
+}
+
+// ConnectedRows returns one boolean per log row: whether the open path's
+// start value can begin a satisfiable chain. It panics on closed paths.
+func (pp *Prepared) ConnectedRows() []bool {
+	return pp.ConnectedRange(0, len(pp.ev.logPatients))
+}
+
+// ConnectedRange is the range form of ConnectedRows over [lo, hi): element i
+// is ConnectedRows()[lo+i]. The feasible-start set is computed once per
+// shared plan entry, so sharding an indicator across workers costs one
+// backward propagation total, not one per shard. It panics on closed paths
+// and out-of-bounds ranges.
+func (pp *Prepared) ConnectedRange(lo, hi int) []bool {
+	if pp.ent.pl.closed {
+		panic("query: ConnectedRange requires an open path")
+	}
+	pp.checkRange(lo, hi)
+	pp.ev.queriesEvaluated++
+	starts, _ := pp.orient()
+	f := pp.feasible()
+	out := make([]bool, hi-lo)
+	for r := lo; r < hi; r++ {
+		out[r-lo] = f.has(starts[r])
+	}
+	return out
+}
+
+// Instances enumerates up to limit explanation instances of the prepared
+// closed path for one log row; see Evaluator.Instances.
+func (pp *Prepared) Instances(logRow, limit int) []InstanceBinding {
+	return pp.ev.Instances(pp.path, logRow, limit)
+}
+
+// cachedPlan is one entry of the engine-level plan cache: the compiled plan,
+// the orientation it was compiled in, and (for open plans, lazily) the
+// backward feasibleStarts set. Entries are installed empty under the cache
+// lock and filled exactly once via compileOnce, so concurrent Prepare calls
+// for the same key block on one compilation instead of duplicating it.
+type cachedPlan struct {
+	compileOnce sync.Once
+	pl          plan
+	forward     bool
+
+	// feas memoizes the open plan's backward feasible-start set; reach
+	// memoizes forward propagation for closed plans (start value ->
+	// reachable end-value set). Both are shared by every cursor and shard,
+	// so when a template's mask is sharded across workers, the backward
+	// pass runs once and a patient whose rows span several shards is
+	// propagated once, not once per shard — without this, row-range
+	// sharding would redo most of the propagation work in every shard and
+	// scale poorly. Only the row-classification paths (ExplainedRows /
+	// ExplainedRange / ConnectedRows / ConnectedRange) populate them;
+	// Support keeps its propagation call-local because the miner's
+	// canonical-key support cache already ensures each candidate condition
+	// set is evaluated once, and pinning propagation sets for every mined
+	// candidate in an engine-lifetime cache would grow memory without
+	// bound. Racing workers may duplicate a reach propagation; LoadOrStore
+	// keeps the first result, and propagate is deterministic, so results
+	// are identical.
+	feasOnce sync.Once
+	feas     valueSet
+	reach    sync.Map // relation.Value -> valueSet
+}
+
+// planEntry returns the cache entry for key, creating it if absent. The
+// cache is dropped wholesale when the database's mutation version no longer
+// matches the version the cache was built against.
+func (eng *engine) planEntry(key string) *cachedPlan {
+	v := eng.db.Version()
+	eng.planMu.RLock()
+	if eng.planVersion == v {
+		if ent, ok := eng.plans[key]; ok {
+			eng.planMu.RUnlock()
+			eng.planHits.Add(1)
+			return ent
+		}
+	}
+	eng.planMu.RUnlock()
+
+	eng.planMu.Lock()
+	defer eng.planMu.Unlock()
+	if eng.planVersion != v || eng.plans == nil {
+		eng.plans = make(map[string]*cachedPlan)
+		eng.planVersion = v
+	}
+	if ent, ok := eng.plans[key]; ok {
+		eng.planHits.Add(1)
+		return ent
+	}
+	eng.planMisses.Add(1)
+	ent := &cachedPlan{}
+	eng.plans[key] = ent
+	return ent
+}
+
+// InvalidatePlans drops every cached plan, forcing the next Prepare of each
+// path to recompile. The cache already self-invalidates when the database
+// version changes; this exists for callers that want to release memory or to
+// measure compilation cost (the compile-each-time benchmark baseline). It
+// affects all cursors sharing the engine.
+func (ev *Evaluator) InvalidatePlans() {
+	eng := ev.engine
+	eng.planMu.Lock()
+	eng.plans = make(map[string]*cachedPlan)
+	eng.planVersion = eng.db.Version()
+	eng.planMu.Unlock()
+}
+
+// PlanCacheStats returns the engine-wide plan-cache hit and miss counts.
+// Unlike the per-cursor query counters, these are shared by all clones: a
+// hit on any cursor counts here.
+func (ev *Evaluator) PlanCacheStats() (hits, misses int64) {
+	return ev.engine.planHits.Load(), ev.engine.planMisses.Load()
+}

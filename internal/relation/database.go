@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Database is a named collection of tables. It corresponds to the hospital
@@ -11,6 +12,10 @@ import (
 type Database struct {
 	tables map[string]*Table
 	order  []string
+
+	// gen counts schema mutations (AddTable calls, including table
+	// replacement); see Version.
+	gen atomic.Uint64
 }
 
 // NewDatabase creates an empty database.
@@ -25,6 +30,24 @@ func (db *Database) AddTable(t *Table) {
 		db.order = append(db.order, t.Name())
 	}
 	db.tables[t.Name()] = t
+	db.gen.Add(1)
+}
+
+// Version returns a token that changes whenever the database is mutated:
+// AddTable (including table replacement) bumps the database's own counter,
+// and Append on any registered table bumps that table's counter. Callers
+// holding derived state — compiled query plans, cached masks — compare
+// tokens for equality; a changed token means the derivation may be stale.
+// The token is a combination, not a strict monotone counter, so only
+// equality is meaningful.
+func (db *Database) Version() uint64 {
+	// Weight the schema generation so that replacing a table (which resets
+	// that table's Append count) cannot collide with a pure-Append history.
+	v := db.gen.Load() * 1_000_003
+	for _, t := range db.tables {
+		v += t.version.Load()
+	}
+	return v
 }
 
 // Table returns the named table, or nil if absent.

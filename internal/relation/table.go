@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Table is an in-memory relation: a named list of columns and a list of rows.
@@ -43,6 +44,12 @@ type Table struct {
 	// pairIndexes caches DISTINCT (a, b) projections keyed by the two column
 	// indexes; see DistinctPairs.
 	pairIndexes map[[2]int]map[Value][]Value
+
+	// version counts mutations (Appends). Derived caches built against the
+	// table — the lazy indexes above, but also compiled query plans held
+	// outside the table — use it to detect staleness: equal versions mean
+	// the rows have not changed since the cache was built.
+	version atomic.Uint64
 }
 
 // NewTable creates an empty table with the given column names. Column names
@@ -94,11 +101,18 @@ func (t *Table) Append(row ...Value) {
 		panic(fmt.Sprintf("relation: table %q expects %d values, got %d", t.name, len(t.columns), len(row)))
 	}
 	t.rows = append(t.rows, append([]Value(nil), row...))
+	t.version.Add(1)
 	t.mu.Lock()
 	t.indexes = nil
 	t.pairIndexes = nil
 	t.mu.Unlock()
 }
+
+// Version returns the table's mutation counter: it increases on every Append
+// and never otherwise changes. External caches derived from the rows (such
+// as the query engine's compiled-plan cache) compare versions to detect
+// staleness.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // Row returns the i-th row. The returned slice must not be modified.
 func (t *Table) Row(i int) []Value { return t.rows[i] }
