@@ -1,14 +1,17 @@
 // Command ebaudit is the interactive face of the explanation-based auditing
-// library: it generates (or regenerates) the synthetic hospital, then
-// answers the three questions the paper poses — what happened to a patient's
-// record and why (the patient portal), which templates explain the log
-// (mining), and which accesses nothing explains (misuse triage).
+// library: it generates (or loads) the synthetic hospital, then answers the
+// three questions the paper poses — what happened to a patient's record and
+// why (the patient portal), which templates explain the log (mining), and
+// which accesses nothing explains (misuse triage).
 //
 // Usage:
 //
 //	ebaudit [flags] summary
 //	ebaudit [flags] patient -id N        # portal report for one patient
-//	ebaudit [flags] audit [-n N] [-v]    # batch-audit every access in parallel
+//	ebaudit [flags] audit [-n N] [-v] [-stream]
+//	                                     # batch-audit every access in parallel;
+//	                                     # -stream emits NDJSON reports in log
+//	                                     # order with bounded memory
 //	ebaudit [flags] mine [-algo name]    # mine templates for review
 //	ebaudit [flags] unexplained [-n N]   # misuse-detection shortlist
 //	ebaudit [flags] groups [-depth D]    # collaborative-group composition
@@ -18,17 +21,27 @@
 // The -j flag sets the worker count of the batch auditing engine and the
 // miner's candidate-evaluation stage (0 means GOMAXPROCS); summary, audit,
 // mine, and unexplained all run on it. audit -v additionally reports the
-// query engine's plan-cache hit/miss counters.
+// query engine's plan-cache and reach-memo counters.
+//
+// The -data flag loads the database from a directory of typed CSVs (the
+// format `ebaudit export` writes) instead of generating one; malformed input
+// — a missing Log table, a missing required column, a bad CSV row — is
+// reported as a proper error with nonzero exit status, never a panic.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -36,74 +49,117 @@ import (
 	"repro/internal/explain"
 	"repro/internal/groups"
 	"repro/internal/mine"
+	"repro/internal/pathmodel"
 	"repro/internal/relation"
 )
 
 func main() {
-	scale := flag.String("scale", "tiny", "dataset scale: tiny, small, or medium")
-	seed := flag.Int64("seed", 1, "generator seed")
-	parallelism := flag.Int("j", 0, "batch auditing workers (0 = GOMAXPROCS)")
-	flag.Parse()
+	code := 0
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintf(os.Stderr, "ebaudit: %v\n", err)
+			code = 1
+		} else {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
 
-	if flag.NArg() < 1 {
-		usage()
-		os.Exit(2)
+// errUsage marks command-line misuse (exit status 2, message already
+// printed).
+var errUsage = errors.New("usage error")
+
+// run is the testable CLI entry point: it parses argv, builds the app
+// (generated or loaded dataset), and dispatches the subcommand. Library
+// panics triggered by malformed loaded data are recovered at this boundary
+// and surfaced as ordinary errors.
+func run(argv []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("ebaudit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.String("scale", "tiny", "dataset scale: tiny, small, or medium")
+	seed := fs.Int64("seed", 1, "generator seed")
+	parallelism := fs.Int("j", 0, "batch auditing workers (0 = GOMAXPROCS)")
+	dataDir := fs.String("data", "", "load tables from a directory of typed CSVs (see 'ebaudit export') instead of generating")
+	if err := fs.Parse(argv); err != nil {
+		return errUsage
+	}
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return errUsage
 	}
 
-	cfg := ehr.Tiny()
-	switch *scale {
-	case "tiny":
-	case "small":
-		cfg = ehr.Small()
-	case "medium":
-		cfg = ehr.Medium()
-	default:
-		fmt.Fprintf(os.Stderr, "ebaudit: unknown scale %q\n", *scale)
-		os.Exit(2)
-	}
-	cfg.Seed = *seed
-
-	app := newApp(cfg, *parallelism)
-	cmd, args := flag.Arg(0), flag.Args()[1:]
-	var err error
-	switch cmd {
-	case "summary":
-		err = app.summary()
-	case "patient":
-		err = app.patient(args)
-	case "audit":
-		err = app.audit(args)
-	case "mine":
-		err = app.mine(args)
-	case "unexplained":
-		err = app.unexplained(args)
-	case "groups":
-		err = app.groups(args)
-	case "templates":
-		err = app.templates()
-	case "export":
-		err = app.export(args)
-	default:
-		usage()
-		os.Exit(2)
+	var a *app
+	if *dataDir != "" {
+		// Malformed loaded datasets can trip invariants deep inside the
+		// relation/query layers (they panic on schema bugs, which hand-built
+		// data can reproduce); convert those into CLI errors instead of
+		// stack traces. Generated datasets get no such backstop: a panic
+		// there is a programming bug and should crash with a traceback.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("invalid dataset: %v", r)
+			}
+		}()
+		a, err = newAppFromData(*dataDir, *parallelism, stderr)
+	} else {
+		cfg := ehr.Tiny()
+		switch *scale {
+		case "tiny":
+		case "small":
+			cfg = ehr.Small()
+		case "medium":
+			cfg = ehr.Medium()
+		default:
+			fmt.Fprintf(stderr, "ebaudit: unknown scale %q\n", *scale)
+			return errUsage
+		}
+		cfg.Seed = *seed
+		a = newApp(cfg, *parallelism)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ebaudit: %v\n", err)
-		os.Exit(1)
+		return err
+	}
+	a.stdout, a.stderr = stdout, stderr
+
+	cmd, args := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "summary":
+		return a.summary()
+	case "patient":
+		return a.patient(args)
+	case "audit":
+		return a.audit(args)
+	case "mine":
+		return a.mine(args)
+	case "unexplained":
+		return a.unexplained(args)
+	case "groups":
+		return a.groups(args)
+	case "templates":
+		return a.templates()
+	case "export":
+		return a.export(args)
+	default:
+		usage(stderr)
+		return errUsage
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ebaudit [-scale S] [-seed N] [-j W] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
+	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals), -stream (NDJSON reports in log order, bounded memory)")
 }
 
 // app holds the prepared auditor.
 type app struct {
-	ds      *ehr.Dataset
+	ds      *ehr.Dataset // nil when the database was loaded via -data
+	db      *relation.Database
 	auditor *core.Auditor
 	hier    *groups.Hierarchy
 	// parallelism is the batch engine's worker count (0 = GOMAXPROCS).
-	parallelism int
+	parallelism    int
+	stdout, stderr io.Writer
 }
 
 func newApp(cfg ehr.Config, parallelism int) *app {
@@ -112,26 +168,181 @@ func newApp(cfg ehr.Config, parallelism int) *app {
 	a := core.NewAuditor(ds.DB, graph, core.WithNamer(ds))
 	hier := a.BuildGroups(core.GroupsOptions{})
 	a.AddTemplates(explain.Handcrafted(true, true).All()...)
-	return &app{ds: ds, auditor: a, hier: hier, parallelism: parallelism}
+	return &app{ds: ds, db: ds.DB, auditor: a, hier: hier, parallelism: parallelism}
+}
+
+// requiredLogColumns are the Log columns every ebaudit workflow needs.
+var requiredLogColumns = []string{
+	pathmodel.LogIDColumn, pathmodel.LogDateColumn,
+	pathmodel.LogUserColumn, pathmodel.LogPatientColumn,
+}
+
+// loadDatabase reads every *.csv table in dir (the `ebaudit export` format)
+// and validates the audit-log schema, returning descriptive errors for the
+// malformed-input cases the relation and query layers would otherwise panic
+// on: a missing Log table, a missing required column, a bad CSV row.
+func loadDatabase(dir string) (*relation.Database, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading -data directory: %w", err)
+	}
+	db := relation.NewDatabase()
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".csv")
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		t, err := relation.Load(name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		db.AddTable(t)
+		loaded++
+	}
+	if loaded == 0 {
+		return nil, fmt.Errorf("no .csv tables found in %s", dir)
+	}
+	log := db.Table(pathmodel.LogTable)
+	if log == nil {
+		return nil, fmt.Errorf("dataset in %s has no %s table (expected %s.csv)",
+			dir, pathmodel.LogTable, pathmodel.LogTable)
+	}
+	for _, col := range requiredLogColumns {
+		if !log.HasColumn(col) {
+			return nil, fmt.Errorf("%s table lacks required column %q (have %s)",
+				pathmodel.LogTable, col, strings.Join(log.Columns(), ", "))
+		}
+	}
+	return db, nil
+}
+
+// newAppFromData builds the auditor over a loaded database. Catalog
+// templates whose event tables are absent from the load are skipped with a
+// note instead of panicking at evaluation time.
+func newAppFromData(dir string, parallelism int, stderr io.Writer) (*app, error) {
+	db, err := loadDatabase(dir)
+	if err != nil {
+		return nil, err
+	}
+	graph := ehr.SchemaGraph(ehr.DefaultGraphOptions())
+	a := core.NewAuditor(db, graph)
+	hier := a.BuildGroups(core.GroupsOptions{})
+	for _, t := range explain.Handcrafted(true, true).All() {
+		if missing := missingTables(db, t); len(missing) > 0 {
+			fmt.Fprintf(stderr, "ebaudit: skipping template %s (missing tables: %s)\n",
+				t.Name(), strings.Join(missing, ", "))
+			continue
+		}
+		a.AddTemplates(t)
+	}
+	return &app{db: db, auditor: a, hier: hier, parallelism: parallelism}, nil
+}
+
+// missingTables lists the tables a template's path references that db does
+// not contain. Template types without an introspectable path (RepeatAccess
+// joins only the log) require nothing extra.
+func missingTables(db *relation.Database, t explain.Template) []string {
+	var p pathmodel.Path
+	switch tpl := t.(type) {
+	case *explain.PathTemplate:
+		p = tpl.Path
+	case *explain.DecoratedTemplate:
+		p = tpl.Decorated.Base
+	default:
+		return nil
+	}
+	need := make(map[string]bool)
+	for _, in := range p.Instances()[1:] {
+		need[in.Table] = true
+	}
+	for _, c := range p.Conds() {
+		if c.Via != nil {
+			need[c.Via.Table] = true
+		}
+	}
+	var missing []string
+	for name := range need {
+		if !db.HasTable(name) {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// patientName resolves a display name, falling back to raw ids for loaded
+// datasets that carry no ground-truth names.
+func (a *app) patientName(v relation.Value) string {
+	if a.ds != nil {
+		return a.ds.PatientName(v)
+	}
+	return explain.NullNamer{}.PatientName(v)
 }
 
 func (a *app) summary() error {
-	fmt.Println(a.auditor.Summary())
-	for _, line := range a.ds.DB.Summary() {
-		fmt.Println("  " + line)
+	fmt.Fprintln(a.stdout, a.auditor.Summary())
+	for _, line := range a.db.Summary() {
+		fmt.Fprintln(a.stdout, "  "+line)
 	}
-	fmt.Printf("explained fraction with hand-crafted templates: %.3f\n",
+	fmt.Fprintf(a.stdout, "explained fraction with hand-crafted templates: %.3f\n",
 		a.auditor.ExplainedFractionParallel(context.Background(), a.parallelism))
 	return nil
 }
 
-// audit runs the concurrent batch engine over the whole log, reports
-// throughput and the explained fraction, and prints a sample of the
-// unexplained residue.
+// ndjsonReport is the wire form of one streamed access report: scalar
+// columns rendered as strings, explanations inline. One JSON object per
+// line, in log-row order.
+type ndjsonReport struct {
+	Lid          int64               `json:"lid"`
+	Date         string              `json:"date"`
+	User         string              `json:"user"`
+	Patient      string              `json:"patient"`
+	UserName     string              `json:"userName"`
+	Explained    bool                `json:"explained"`
+	Explanations []ndjsonExplanation `json:"explanations,omitempty"`
+}
+
+type ndjsonExplanation struct {
+	Template string `json:"template"`
+	Length   int    `json:"length"`
+	Text     string `json:"text"`
+}
+
+func toNDJSON(rep core.AccessReport) ndjsonReport {
+	out := ndjsonReport{
+		Lid:       rep.Lid,
+		Date:      rep.Date.String(),
+		User:      rep.User.String(),
+		Patient:   rep.Patient.String(),
+		UserName:  rep.UserName,
+		Explained: rep.Explained(),
+	}
+	for _, e := range rep.Explanations {
+		out.Explanations = append(out.Explanations, ndjsonExplanation{
+			Template: e.Template, Length: e.Length, Text: e.Text,
+		})
+	}
+	return out
+}
+
+// audit runs the concurrent batch engine over the whole log. The default
+// mode materializes the reports and prints throughput, the explained
+// fraction, and a sample of the unexplained residue; -stream instead pipes
+// every report to stdout as NDJSON in log order through the bounded
+// streaming pipeline (memory stays flat no matter how large the log), with
+// the human-readable summary on stderr.
 func (a *app) audit(args []string) error {
 	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	fs.SetOutput(a.stderr)
 	n := fs.Int("n", 10, "maximum unexplained rows to show")
-	verbose := fs.Bool("v", false, "also report engine internals (plan-cache hit/miss counters)")
+	verbose := fs.Bool("v", false, "also report engine internals (plan-cache and reach-memo counters)")
+	stream := fs.Bool("stream", false, "emit every report as NDJSON on stdout (log order, bounded memory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,6 +350,11 @@ func (a *app) audit(args []string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	if *stream {
+		return a.auditStream(workers, *verbose)
+	}
+
 	start := time.Now()
 	reports := a.auditor.ExplainAll(context.Background(), workers)
 	elapsed := time.Since(start)
@@ -153,28 +369,68 @@ func (a *app) audit(args []string) error {
 		}
 	}
 	total := len(reports)
-	fmt.Printf("batch-audited %d accesses in %v (%.0f accesses/sec, %d workers)\n",
+	fmt.Fprintf(a.stdout, "batch-audited %d accesses in %v (%.0f accesses/sec, %d workers)\n",
 		total, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds(), workers)
-	fmt.Printf("explained: %d (%.2f%%), unexplained: %d\n",
+	fmt.Fprintf(a.stdout, "explained: %d (%.2f%%), unexplained: %d\n",
 		explained, 100*float64(explained)/float64(max(total, 1)), len(unexplained))
 	if *verbose {
-		hits, misses := a.auditor.Evaluator().PlanCacheStats()
-		fmt.Printf("plan cache: %d hits, %d misses (%d compiled plans reused across %d workers)\n",
-			hits, misses, misses, workers)
+		a.printEngineStats(a.stdout, workers)
 	}
 	for i, r := range unexplained {
 		if i >= *n {
-			fmt.Printf("  ... and %d more\n", len(unexplained)-i)
+			fmt.Fprintf(a.stdout, "  ... and %d more\n", len(unexplained)-i)
 			break
 		}
-		fmt.Printf("  L%-6d %s  %-22s -> %s\n", r.Lid, r.Date, r.UserName, a.ds.PatientName(r.Patient))
+		fmt.Fprintf(a.stdout, "  L%-6d %s  %-22s -> %s\n", r.Lid, r.Date, r.UserName, a.patientName(r.Patient))
 	}
 	return nil
 }
 
+// auditStream is the NDJSON mode of the audit subcommand: reports flow
+// through core.Auditor.StreamReports straight to a buffered stdout encoder,
+// so the full-log report slice is never materialized.
+func (a *app) auditStream(workers int, verbose bool) error {
+	bw := bufio.NewWriter(a.stdout)
+	enc := json.NewEncoder(bw)
+	start := time.Now()
+	total, explained := 0, 0
+	err := a.auditor.StreamReports(context.Background(), workers, func(rep core.AccessReport) error {
+		total++
+		if rep.Explained() {
+			explained++
+		}
+		return enc.Encode(toNDJSON(rep))
+	})
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(a.stderr, "streamed %d reports in %v (%.0f accesses/sec, %d workers); explained: %d (%.2f%%)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(),
+		workers, explained, 100*float64(explained)/float64(max(total, 1)))
+	if verbose {
+		a.printEngineStats(a.stderr, workers)
+	}
+	return nil
+}
+
+// printEngineStats reports the shared query-engine internals: plan-cache
+// hit/miss counters plus the bounded reach memo's residency and evictions.
+func (a *app) printEngineStats(w io.Writer, workers int) {
+	st := a.auditor.Evaluator().PlanCacheStats()
+	fmt.Fprintf(w, "plan cache: %d hits, %d misses (%d compiled plans reused across %d workers)\n",
+		st.Hits, st.Misses, st.Misses, workers)
+	fmt.Fprintf(w, "reach memo: %d resident entries, %d evictions (per-plan cap %d)\n",
+		st.ReachEntries, st.ReachEvictions, st.ReachCap)
+}
+
 func (a *app) patient(args []string) error {
 	fs := flag.NewFlagSet("patient", flag.ContinueOnError)
+	fs.SetOutput(a.stderr)
 	id := fs.Int64("id", 1, "patient id")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -183,19 +439,19 @@ func (a *app) patient(args []string) error {
 	if len(reports) == 0 {
 		return fmt.Errorf("no accesses recorded for patient %d", *id)
 	}
-	fmt.Printf("access report for %s (%d accesses)\n", a.ds.PatientName(relation.Int(*id)), len(reports))
+	fmt.Fprintf(a.stdout, "access report for %s (%d accesses)\n", a.patientName(relation.Int(*id)), len(reports))
 	for _, r := range reports {
-		fmt.Printf("  L%d %s — %s\n", r.Lid, r.Date, r.UserName)
+		fmt.Fprintf(a.stdout, "  L%d %s — %s\n", r.Lid, r.Date, r.UserName)
 		if !r.Explained() {
-			fmt.Printf("      (no explanation found — consider reporting to the compliance office)\n")
+			fmt.Fprintf(a.stdout, "      (no explanation found — consider reporting to the compliance office)\n")
 			continue
 		}
 		for i, e := range r.Explanations {
 			if i >= 2 {
-				fmt.Printf("      ... and %d more explanations\n", len(r.Explanations)-i)
+				fmt.Fprintf(a.stdout, "      ... and %d more explanations\n", len(r.Explanations)-i)
 				break
 			}
-			fmt.Printf("      because %s [%s]\n", e.Text, e.Template)
+			fmt.Fprintf(a.stdout, "      because %s [%s]\n", e.Text, e.Template)
 		}
 	}
 	return nil
@@ -203,6 +459,7 @@ func (a *app) patient(args []string) error {
 
 func (a *app) mine(args []string) error {
 	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
+	fs.SetOutput(a.stderr)
 	algo := fs.String("algo", mine.AlgoOneWay, "one-way, two-way, or bridge-N")
 	maxLen := fs.Int("M", 4, "maximum path length")
 	support := fs.Float64("s", 0.01, "support fraction")
@@ -217,12 +474,12 @@ func (a *app) mine(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mined %d templates (%s, s=%.2f%%, M=%d, T=%d); review before adoption:\n",
+	fmt.Fprintf(a.stdout, "mined %d templates (%s, s=%.2f%%, M=%d, T=%d); review before adoption:\n",
 		len(res.Templates), *algo, opt.SupportFraction*100, opt.MaxLength, opt.MaxTables)
 	for _, p := range res.Templates {
-		fmt.Printf("  len=%d  %s\n", p.Length(), p.String())
+		fmt.Fprintf(a.stdout, "  len=%d  %s\n", p.Length(), p.String())
 	}
-	fmt.Printf("stats: candidates=%d queries=%d cacheHits=%d skipped=%d\n",
+	fmt.Fprintf(a.stdout, "stats: candidates=%d queries=%d cacheHits=%d skipped=%d\n",
 		res.Stats.CandidatesGenerated, res.Stats.SupportQueries,
 		res.Stats.CacheHits, res.Stats.Skipped)
 	return nil
@@ -230,29 +487,34 @@ func (a *app) mine(args []string) error {
 
 func (a *app) unexplained(args []string) error {
 	fs := flag.NewFlagSet("unexplained", flag.ContinueOnError)
+	fs.SetOutput(a.stderr)
 	n := fs.Int("n", 20, "maximum rows to show")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rows := a.auditor.UnexplainedAccessesParallel(context.Background(), a.parallelism)
-	log := a.ds.Log()
-	fmt.Printf("%d of %d accesses unexplained (%.2f%%)\n",
-		len(rows), log.NumRows(), 100*float64(len(rows))/float64(log.NumRows()))
+	log := a.auditor.Evaluator().Log()
+	fmt.Fprintf(a.stdout, "%d of %d accesses unexplained (%.2f%%)\n",
+		len(rows), log.NumRows(), 100*float64(len(rows))/float64(max(log.NumRows(), 1)))
 	for i, r := range rows {
 		if i >= *n {
-			fmt.Printf("  ... and %d more\n", len(rows)-i)
+			fmt.Fprintf(a.stdout, "  ... and %d more\n", len(rows)-i)
 			break
 		}
 		rep := a.auditor.ExplainRow(r, 1)
-		cause := a.ds.Causes[r]
-		fmt.Printf("  L%-6d %s  %-22s -> %-18s (ground truth: %s)\n",
-			rep.Lid, rep.Date, rep.UserName, a.ds.PatientName(rep.Patient), cause)
+		line := fmt.Sprintf("  L%-6d %s  %-22s -> %-18s",
+			rep.Lid, rep.Date, rep.UserName, a.patientName(rep.Patient))
+		if a.ds != nil {
+			line += fmt.Sprintf(" (ground truth: %s)", a.ds.Causes[r])
+		}
+		fmt.Fprintln(a.stdout, line)
 	}
 	return nil
 }
 
 func (a *app) groups(args []string) error {
 	fs := flag.NewFlagSet("groups", flag.ContinueOnError)
+	fs.SetOutput(a.stderr)
 	depth := fs.Int("depth", 1, "hierarchy depth to display")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -267,16 +529,18 @@ func (a *app) groups(args []string) error {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	fmt.Printf("%d collaborative groups at depth %d (hierarchy depth %d)\n", len(ids), d, a.hier.MaxDepth())
+	fmt.Fprintf(a.stdout, "%d collaborative groups at depth %d (hierarchy depth %d)\n", len(ids), d, a.hier.MaxDepth())
 	for _, id := range ids {
 		members := byGroup[id]
 		counts := map[string]int{}
-		for _, u := range members {
-			if user := a.ds.UserByAudit(u.AsInt()); user != nil {
-				counts[user.DeptCode]++
+		if a.ds != nil {
+			for _, u := range members {
+				if user := a.ds.UserByAudit(u.AsInt()); user != nil {
+					counts[user.DeptCode]++
+				}
 			}
 		}
-		fmt.Printf("  group %d: %d members", id, len(members))
+		fmt.Fprintf(a.stdout, "  group %d: %d members", id, len(members))
 		codes := make([]string, 0, len(counts))
 		for c := range counts {
 			codes = append(codes, c)
@@ -286,25 +550,26 @@ func (a *app) groups(args []string) error {
 			if i >= 3 {
 				break
 			}
-			fmt.Printf("  [%s x%d]", c, counts[c])
+			fmt.Fprintf(a.stdout, "  [%s x%d]", c, counts[c])
 		}
-		fmt.Println()
+		fmt.Fprintln(a.stdout)
 	}
 	return nil
 }
 
 func (a *app) templates() error {
 	for _, t := range a.auditor.Templates() {
-		fmt.Printf("%s (length %d)\n%s\n\n", t.Name(), t.Length(), t.SQL())
+		fmt.Fprintf(a.stdout, "%s (length %d)\n%s\n\n", t.Name(), t.Length(), t.SQL())
 	}
 	return nil
 }
 
-// export dumps every table of the generated database as typed CSV files, so
-// the synthetic hospital can be inspected with external tools or loaded
-// back with relation.Load.
+// export dumps every table of the database as typed CSV files, so the
+// synthetic hospital can be inspected with external tools or loaded back
+// with -data.
 func (a *app) export(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	fs.SetOutput(a.stderr)
 	dir := fs.String("dir", "ebaudit-export", "output directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -312,20 +577,20 @@ func (a *app) export(args []string) error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	for _, name := range a.ds.DB.TableNames() {
+	for _, name := range a.db.TableNames() {
 		path := filepath.Join(*dir, name+".csv")
 		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		if err := a.ds.DB.MustTable(name).Dump(f); err != nil {
+		if err := a.db.MustTable(name).Dump(f); err != nil {
 			f.Close()
 			return fmt.Errorf("dumping %s: %w", name, err)
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d rows)\n", path, a.ds.DB.MustTable(name).NumRows())
+		fmt.Fprintf(a.stdout, "wrote %s (%d rows)\n", path, a.db.MustTable(name).NumRows())
 	}
 	return nil
 }

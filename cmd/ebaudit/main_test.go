@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDataDir materializes a fake -data directory from file name -> CSV
+// content.
+func writeDataDir(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goodLogCSV = "Lid:int,Date:date,User:int,Patient:int\n1,1,100,7\n2,2,101,8\n"
+
+// TestRunDataErrors is the table-driven malformed-input suite: every way a
+// -data directory can be broken must surface as a descriptive error from
+// run, never as a relation/query panic or a zero exit.
+func TestRunDataErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		files   map[string]string // nil means point -data at a nonexistent path
+		wantSub string
+	}{
+		{
+			name:    "missing directory",
+			files:   nil,
+			wantSub: "reading -data directory",
+		},
+		{
+			name:    "no csv tables",
+			files:   map[string]string{"README.txt": "not a table"},
+			wantSub: "no .csv tables found",
+		},
+		{
+			name:    "missing Log table",
+			files:   map[string]string{"Appointments.csv": "Patient:int,Date:date,Doctor:int\n7,1,3\n"},
+			wantSub: "has no Log table",
+		},
+		{
+			name:    "missing required column",
+			files:   map[string]string{"Log.csv": "Lid:int,Date:date,User:int\n1,1,100\n"},
+			wantSub: `lacks required column "Patient"`,
+		},
+		{
+			name:    "header cell without kind",
+			files:   map[string]string{"Log.csv": "Lid,Date:date,User:int,Patient:int\n1,1,100,7\n"},
+			wantSub: "lacks a :kind suffix",
+		},
+		{
+			name:    "unknown column kind",
+			files:   map[string]string{"Log.csv": "Lid:uuid,Date:date,User:int,Patient:int\n1,1,100,7\n"},
+			wantSub: `unknown kind "uuid"`,
+		},
+		{
+			name:    "short csv row",
+			files:   map[string]string{"Log.csv": "Lid:int,Date:date,User:int,Patient:int\n1,1,100\n"},
+			wantSub: "row 1 has 3 fields, want 4",
+		},
+		{
+			name:    "non-numeric int cell",
+			files:   map[string]string{"Log.csv": "Lid:int,Date:date,User:int,Patient:int\nabc,1,100,7\n"},
+			wantSub: "row 1 column Lid",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "nonexistent")
+			if tc.files != nil {
+				dir = writeDataDir(t, tc.files)
+			}
+			var stdout, stderr bytes.Buffer
+			err := run([]string{"-data", dir, "summary"}, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run succeeded on %s; stdout:\n%s", tc.name, stdout.String())
+			}
+			if errors.Is(err, errUsage) {
+				t.Fatalf("malformed data reported as usage error: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestRunUsageErrors pins command-line misuse to errUsage (exit status 2).
+func TestRunUsageErrors(t *testing.T) {
+	for _, argv := range [][]string{
+		{},
+		{"frobnicate"},
+		{"-scale", "galactic", "summary"},
+		{"-not-a-flag", "summary"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(argv, &stdout, &stderr); !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) = %v, want usage error", argv, err)
+		}
+	}
+}
+
+// TestRunDataRoundTrip exports a generated hospital, reloads it via -data,
+// and checks both a materialized audit and the NDJSON -stream mode: the
+// stream must carry one valid JSON report per log row, in log order.
+func TestRunDataRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", dir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v\nstderr: %s", err, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if err := run([]string{"-data", dir, "audit"}, &stdout, &stderr); err != nil {
+		t.Fatalf("audit over reloaded data: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "batch-audited") {
+		t.Fatalf("audit output missing summary:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if err := run([]string{"-data", dir, "audit", "-stream", "-v"}, &stdout, &stderr); err != nil {
+		t.Fatalf("audit -stream: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "streamed") || !strings.Contains(stderr.String(), "reach memo:") {
+		t.Errorf("stream summary missing from stderr:\n%s", stderr.String())
+	}
+
+	lines := 0
+	prevLid := int64(-1)
+	sc := bufio.NewScanner(bytes.NewReader(stdout.Bytes()))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var rep ndjsonReport
+		if err := json.Unmarshal(sc.Bytes(), &rep); err != nil {
+			t.Fatalf("line %d is not valid NDJSON: %v\n%s", lines+1, err, sc.Text())
+		}
+		if rep.Lid <= prevLid {
+			t.Fatalf("NDJSON out of log order: lid %d after %d", rep.Lid, prevLid)
+		}
+		prevLid = rep.Lid
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("stream produced no reports")
+	}
+}

@@ -24,17 +24,26 @@ func main() {
 	auditor.BuildGroups(core.GroupsOptions{})
 	auditor.AddTemplates(explain.Handcrafted(true, true).All()...)
 
-	// Batch-audit the whole log concurrently: every access gets its report in
-	// one pass, and the unexplained residue is the compliance shortlist. Each
-	// template's mask is itself sharded across the workers (EvaluateRange
-	// over shared prepared plans), so even this small catalog saturates the
-	// pool during mask computation.
-	reports := auditor.ExplainAll(context.Background(), runtime.NumCPU())
+	// Stream-audit the whole log concurrently: reports arrive in log order
+	// through the bounded pipeline and only the unexplained residue — the
+	// compliance shortlist — is retained, so memory holds the shortlist, not
+	// every report. Each template's mask is itself sharded across the workers
+	// (EvaluateRange over shared prepared plans), so even this small catalog
+	// saturates the pool during mask computation.
 	var shortlist []int
-	for row, rep := range reports {
+	var shortReports []core.AccessReport
+	row := 0
+	err := auditor.StreamReports(context.Background(), runtime.NumCPU(), func(rep core.AccessReport) error {
 		if !rep.Explained() {
 			shortlist = append(shortlist, row)
+			shortReports = append(shortReports, rep)
 		}
+		row++
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "misusedetection: %v\n", err)
+		os.Exit(1)
 	}
 
 	total := ds.Log().NumRows()
@@ -43,8 +52,7 @@ func main() {
 		len(auditor.Templates()), len(shortlist), 100*float64(len(shortlist))/float64(total))
 
 	fmt.Println("compliance shortlist:")
-	for _, row := range shortlist {
-		rep := reports[row]
+	for _, rep := range shortReports {
 		fmt.Printf("  L%-6d %s  %-24s -> %s\n", rep.Lid, rep.Date, rep.UserName, ds.PatientName(rep.Patient))
 	}
 

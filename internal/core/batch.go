@@ -4,14 +4,15 @@ import (
 	"context"
 	"runtime"
 
-	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
 // batchChunk is the number of consecutive log rows a worker claims at a
 // time. Large enough to amortize the atomic claim, small enough that the
-// tail of the log still load-balances across workers.
+// tail of the log still load-balances across workers — and small enough
+// that the streaming pipeline's bounded reorder window (a few chunks per
+// worker) holds only a sliver of the log.
 const batchChunk = 64
 
 // normalizeParallelism clamps a caller-supplied worker count to [1, n] with
@@ -29,15 +30,23 @@ func normalizeParallelism(p int) int {
 // path templates re-memoize start-value propagation) than on classification.
 const minMaskShard = 256
 
-// maskRanges splits [0, n) into at most `workers` near-equal contiguous
-// ranges of at least minMaskShard rows each (except that a log smaller than
-// minMaskShard becomes one range). Concatenating EvaluateRange over these
-// ranges is byte-identical to a full Evaluate, per the Template contract.
+// maskShardsPerWorker is how many mask shards each worker should see on a
+// large log. More shards than workers keeps the pool load-balanced when
+// templates have uneven ranges, and — because workers poll the context
+// between claimed shards — bounds how long a cancelled audit keeps running:
+// one shard, not one worker's whole share of the log.
+const maskShardsPerWorker = 4
+
+// maskRanges splits [0, n) into at most workers*maskShardsPerWorker
+// near-equal contiguous ranges of at least minMaskShard rows each (except
+// that a log smaller than minMaskShard becomes one range). Concatenating
+// EvaluateRange over these ranges is byte-identical to a full Evaluate, per
+// the Template contract.
 func maskRanges(n, workers int) [][2]int {
 	if n == 0 {
 		return nil
 	}
-	k := workers
+	k := workers * maskShardsPerWorker
 	if maxShards := n / minMaskShard; k > maxShards {
 		k = maxShards
 	}
@@ -60,10 +69,12 @@ func maskRanges(n, workers int) [][2]int {
 // EvaluateRange), and all shards of all missing templates feed one worker
 // pool — so a workload of two expensive templates scales across every core
 // instead of two. Path-backed templates compile once through the engine's
-// shared plan cache; the shards only pay classification. It returns
-// ctx.Err() if the context is cancelled before all masks are available.
-// Concurrent callers may duplicate work for a mask both are missing, but
-// they converge on identical values, so the cache stays consistent.
+// shared plan cache; the shards only pay classification. Workers poll ctx
+// between claimed shards, so a cancelled call stops after the in-flight
+// shards rather than draining the claim loop; it then returns ctx.Err()
+// without publishing partial masks. Concurrent callers may duplicate work
+// for a mask both are missing, but they converge on identical values, so
+// the cache stays consistent.
 func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([][]bool, error) {
 	a.mu.Lock()
 	nt := len(a.templates)
@@ -118,55 +129,22 @@ func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([][]bool, e
 	return out, nil
 }
 
-// shardRows runs body(worker, lo, hi) over the half-open row ranges of a
-// dynamic worker pool: workers claim batchChunk-row shards until the log is
-// exhausted or ctx is cancelled. It is the row-range face of the shared
-// parallel.ForEach scaffolding used by every batch method.
-func shardRows(ctx context.Context, n, parallelism int, body func(worker, lo, hi int)) error {
-	workers := normalizeParallelism(parallelism)
-	chunks := (n + batchChunk - 1) / batchChunk
-	parallel.ForEach(workers, chunks, func() bool { return ctx.Err() != nil }, func(w, c int) {
-		lo := c * batchChunk
-		hi := lo + batchChunk
-		if hi > n {
-			hi = n
-		}
-		body(w, lo, hi)
-	})
-	return ctx.Err()
-}
-
 // ExplainAll builds the report for every log row using a pool of parallelism
 // workers (non-positive means GOMAXPROCS), each with its own evaluator
-// cursor. Reports are returned in log-row order and are identical to what a
-// sequential ExplainRow(r, 0) loop produces — the differential tests pin
-// this down — so callers can switch between the two freely. Template masks
-// are computed first (concurrently, for the templates not already cached)
-// and reused by every worker.
+// cursor. It materializes the StreamReports pipeline into one slice, so
+// reports are in log-row order and identical to what a sequential
+// ExplainRow(r, 0) loop produces — the differential tests pin this down —
+// and callers that do not need the whole slice at once should consume
+// StreamReports (or Reports) directly for bounded memory.
 //
 // ExplainAll returns nil if ctx is cancelled before the batch completes; it
 // never returns a partially filled slice.
 func (a *Auditor) ExplainAll(ctx context.Context, parallelism int) []AccessReport {
-	n := a.ev.Log().NumRows()
-	masks, err := a.ensureMasks(ctx, parallelism)
-	if err != nil {
+	out := make([]AccessReport, 0, a.ev.Log().NumRows())
+	if err := a.StreamReports(ctx, parallelism, func(rep AccessReport) error {
+		out = append(out, rep)
 		return nil
-	}
-	maskOf := func(i int) []bool { return masks[i] }
-
-	out := make([]AccessReport, n)
-	workers := normalizeParallelism(parallelism)
-	cursors := make([]*query.Evaluator, workers)
-	for w := range cursors {
-		cursors[w] = a.ev.Clone()
-	}
-	err = shardRows(ctx, n, workers, func(w, lo, hi int) {
-		ev := cursors[w]
-		for r := lo; r < hi; r++ {
-			out[r] = a.explainRowWith(ev, maskOf, r, 0)
-		}
-	})
-	if err != nil {
+	}); err != nil {
 		return nil
 	}
 	return out
@@ -174,50 +152,78 @@ func (a *Auditor) ExplainAll(ctx context.Context, parallelism int) []AccessRepor
 
 // UnexplainedAccessesParallel is the concurrent counterpart of
 // UnexplainedAccesses: it computes the template masks with a worker pool,
-// then scans log-row shards in parallel for rows no template explains. The
-// returned row indexes are in ascending order, identical to the sequential
-// result. It returns nil if ctx is cancelled first.
+// then streams log-row shards through the same ordered pipeline as
+// StreamReports, collecting the rows no template explains (a mask-only scan
+// — no explanations are rendered, so it stays much cheaper than a full
+// report pass). The returned row indexes are in ascending order, identical
+// to the sequential result. It returns nil if ctx is cancelled first.
 func (a *Auditor) UnexplainedAccessesParallel(ctx context.Context, parallelism int) []int {
 	masks, err := a.ensureMasks(ctx, parallelism)
 	if err != nil {
 		return nil
 	}
 	n := a.ev.Log().NumRows()
-	workers := normalizeParallelism(parallelism)
-	perShard := make([][]int, (n+batchChunk-1)/batchChunk)
-	err = shardRows(ctx, n, workers, func(w, lo, hi int) {
-		var local []int
-		for r := lo; r < hi; r++ {
-			explained := false
-			for _, m := range masks {
-				if m[r] {
-					explained = true
-					break
+	var out []int
+	err = streamChunks(ctx, n, parallelism,
+		func(_, lo, hi int) []int {
+			var local []int
+			for r := lo; r < hi; r++ {
+				explained := false
+				for _, m := range masks {
+					if m[r] {
+						explained = true
+						break
+					}
+				}
+				if !explained {
+					local = append(local, r)
 				}
 			}
-			if !explained {
-				local = append(local, r)
-			}
-		}
-		perShard[lo/batchChunk] = local
-	})
+			return local
+		},
+		func(chunk []int) error {
+			out = append(out, chunk...)
+			return nil
+		})
 	if err != nil {
 		return nil
-	}
-	var out []int
-	for _, s := range perShard {
-		out = append(out, s...)
 	}
 	return out
 }
 
 // ExplainedFractionParallel is the concurrent counterpart of
-// ExplainedFraction, computing the template masks with a worker pool before
-// taking the union. It returns 0 if ctx is cancelled first.
+// ExplainedFraction, computing the template masks with a worker pool and
+// streaming the union count over log-row shards. An empty log (or a cancelled
+// ctx, or an auditor with no templates) yields 0, never NaN.
 func (a *Auditor) ExplainedFractionParallel(ctx context.Context, parallelism int) float64 {
 	masks, err := a.ensureMasks(ctx, parallelism)
 	if err != nil || len(masks) == 0 {
 		return 0
 	}
-	return metrics.Fraction(metrics.Union(masks...))
+	n := a.ev.Log().NumRows()
+	if n == 0 {
+		return 0
+	}
+	explained := 0
+	err = streamChunks(ctx, n, parallelism,
+		func(_, lo, hi int) int {
+			c := 0
+			for r := lo; r < hi; r++ {
+				for _, m := range masks {
+					if m[r] {
+						c++
+						break
+					}
+				}
+			}
+			return c
+		},
+		func(c int) error {
+			explained += c
+			return nil
+		})
+	if err != nil {
+		return 0
+	}
+	return float64(explained) / float64(n)
 }

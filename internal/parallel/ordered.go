@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// OrderedChunks is the streaming counterpart of ForEach: it splits [0, n)
+// into ceil(n/chunkSize) contiguous chunks, lets a pool of at most `workers`
+// goroutines claim and produce chunks out of order (same atomic-counter
+// claim loop as ForEach), and delivers the produced values to emit strictly
+// in chunk order on the calling goroutine. At most `window` produced chunks
+// are held in memory at once: a worker that runs ahead of the emitter by a
+// full window blocks before producing, so peak buffering is bounded by
+// window*chunkSize items no matter how large n is. That bound is what turns
+// a full-log materialization into a streaming pipeline.
+//
+// Workers poll stop between claimed chunks and the emitter polls it between
+// emitted chunks, so a cancelled run stops promptly mid-log instead of
+// draining the remaining claims; in-flight produce calls still finish.
+// When stop trips, OrderedChunks returns nil after the pool drains and the
+// caller decides what the partial emission means (the batch engine maps it
+// to ctx.Err()). If emit returns an error, no further chunks are emitted
+// and that error is returned. produce must not retain the emitter's slot:
+// the value it returns is dropped right after emit to keep the window's
+// memory bound honest.
+//
+// With one worker (or one chunk) everything runs inline on the calling
+// goroutine — produce then emit, chunk by chunk — preserving sequential
+// semantics exactly.
+func OrderedChunks[T any](workers, n, chunkSize, window int, stop func() bool, produce func(worker, lo, hi int) T, emit func(T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if chunkSize <= 0 {
+		chunkSize = 1
+	}
+	chunks := (n + chunkSize - 1) / chunkSize
+	if workers > chunks {
+		workers = chunks
+	}
+	bounds := func(c int) (lo, hi int) {
+		lo = c * chunkSize
+		hi = lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			if stop != nil && stop() {
+				return nil
+			}
+			lo, hi := bounds(c)
+			if err := emit(produce(0, lo, hi)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if window < 1 {
+		window = 1
+	}
+	// A window smaller than the pool would leave workers permanently blocked
+	// on the reorder buffer; clamp so every worker can have one chunk in
+	// flight.
+	if window < workers {
+		window = workers
+	}
+
+	// Shared reorder state: a ring of `window` slots indexed by chunk number
+	// mod window. base is the next chunk the emitter will hand to emit;
+	// workers may only produce chunks in [base, base+window). done makes every
+	// waiter give up after a stop trip or an emit error.
+	var (
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		base   int
+		slots  = make([]T, window)
+		filled = make([]bool, window)
+		done   bool
+	)
+	var zero T
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				if stop != nil && stop() {
+					mu.Lock()
+					done = true
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				for c >= base+window && !done {
+					cond.Wait()
+				}
+				if done {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+
+				lo, hi := bounds(c)
+				v := produce(w, lo, hi)
+
+				mu.Lock()
+				if done {
+					mu.Unlock()
+					return
+				}
+				slots[c%window] = v
+				filled[c%window] = true
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	var emitErr error
+	for c := 0; c < chunks; c++ {
+		mu.Lock()
+		for !filled[c%window] && !done {
+			cond.Wait()
+		}
+		if done {
+			mu.Unlock()
+			break
+		}
+		v := slots[c%window]
+		slots[c%window] = zero // release the chunk as soon as it is emitted
+		filled[c%window] = false
+		base = c + 1
+		cond.Broadcast()
+		mu.Unlock()
+
+		if err := emit(v); err != nil {
+			emitErr = err
+		} else if stop != nil && stop() {
+			// fallthrough to the abort below with a nil error; the caller
+			// interprets the partial emission via its own context.
+		} else {
+			continue
+		}
+		mu.Lock()
+		done = true
+		cond.Broadcast()
+		mu.Unlock()
+		break
+	}
+	wg.Wait()
+	return emitErr
+}

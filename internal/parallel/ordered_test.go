@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrderedChunksInOrder checks the core contract at several pool shapes:
+// every index emitted exactly once, in ascending order, regardless of how
+// chunks complete out of order (chunk 0 is artificially slowed so later
+// chunks finish first and must wait in the reorder window).
+func TestOrderedChunksInOrder(t *testing.T) {
+	const n, chunkSize = 1003, 7
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, window := range []int{1, 3, 16} {
+			var got []int
+			err := OrderedChunks(workers, n, chunkSize, window,
+				nil,
+				func(w, lo, hi int) []int {
+					if lo == 0 && workers > 1 {
+						time.Sleep(5 * time.Millisecond)
+					}
+					out := make([]int, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						out = append(out, i)
+					}
+					return out
+				},
+				func(chunk []int) error {
+					got = append(got, chunk...)
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("workers=%d window=%d: err = %v", workers, window, err)
+			}
+			if len(got) != n {
+				t.Fatalf("workers=%d window=%d: emitted %d of %d", workers, window, len(got), n)
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("workers=%d window=%d: out of order at %d: got %d", workers, window, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestOrderedChunksBoundedWindow verifies the memory bound: no chunk is
+// produced more than `window` chunks ahead of the emitter, even when the
+// emitter is slow, so buffered output never exceeds the window. (A window
+// smaller than the pool is clamped up to the worker count, so the test uses
+// window > workers.)
+func TestOrderedChunksBoundedWindow(t *testing.T) {
+	const n, chunkSize, workers, window = 640, 8, 4, 8
+	var emitted atomic.Int64
+	var maxLead atomic.Int64
+	err := OrderedChunks(workers, n, chunkSize, window,
+		nil,
+		func(w, lo, hi int) int {
+			lead := int64(lo/chunkSize) - emitted.Load()
+			for {
+				old := maxLead.Load()
+				if lead <= old || maxLead.CompareAndSwap(old, lead) {
+					break
+				}
+			}
+			return lo / chunkSize
+		},
+		func(c int) error {
+			emitted.Add(1)
+			time.Sleep(500 * time.Microsecond) // slow consumer
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A producer may observe the emitter's counter just before it increments,
+	// so allow one chunk of slack beyond the window.
+	if got := maxLead.Load(); got > window+1 {
+		t.Errorf("producer ran %d chunks ahead of the emitter, window is %d", got, window)
+	}
+}
+
+// TestOrderedChunksEmitError: an emit error aborts the run, is returned
+// verbatim, and no further chunks are emitted.
+func TestOrderedChunksEmitError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		emits := 0
+		err := OrderedChunks(workers, 1000, 10, 8,
+			nil,
+			func(w, lo, hi int) int { return lo },
+			func(int) error {
+				emits++
+				if emits == 3 {
+					return boom
+				}
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if emits != 3 {
+			t.Errorf("workers=%d: %d emits after error, want exactly 3", workers, emits)
+		}
+	}
+}
+
+// TestOrderedChunksStopPrompt: once stop trips, workers stop claiming chunks
+// and the emitter stops emitting, so a cancelled run ends after the
+// in-flight chunks instead of draining the whole claim loop.
+func TestOrderedChunksStopPrompt(t *testing.T) {
+	const n, chunkSize = 100000, 10
+	for _, workers := range []int{1, 4} {
+		var stopped atomic.Bool
+		var produced atomic.Int64
+		emits := 0
+		err := OrderedChunks(workers, n, chunkSize, 8,
+			func() bool { return stopped.Load() },
+			func(w, lo, hi int) int {
+				produced.Add(1)
+				return lo
+			},
+			func(int) error {
+				emits++
+				if emits == 5 {
+					stopped.Store(true)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		chunks := n / chunkSize
+		if emits >= chunks/2 {
+			t.Errorf("workers=%d: emitter drained %d of %d chunks after stop", workers, emits, chunks)
+		}
+		if p := produced.Load(); p >= int64(chunks/2) {
+			t.Errorf("workers=%d: workers produced %d of %d chunks after stop", workers, p, chunks)
+		}
+	}
+}
+
+// TestOrderedChunksDegenerate pins the empty and tiny inputs.
+func TestOrderedChunksDegenerate(t *testing.T) {
+	calls := 0
+	if err := OrderedChunks(4, 0, 10, 4, nil, func(w, lo, hi int) int { return 0 }, func(int) error { calls++; return nil }); err != nil || calls != 0 {
+		t.Errorf("n=0: err=%v calls=%d", err, calls)
+	}
+	var got []int
+	err := OrderedChunks(8, 3, 10, 4, nil,
+		func(w, lo, hi int) []int { return []int{lo, hi} },
+		func(v []int) error { got = append(got, v...); return nil })
+	if err != nil || len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("single chunk: err=%v got=%v", err, got)
+	}
+}

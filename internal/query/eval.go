@@ -77,6 +77,13 @@ type engine struct {
 
 	planHits   atomic.Int64
 	planMisses atomic.Int64
+
+	// reachCap is the per-plan bound on resident reach-memo entries (0 =
+	// unbounded); it is read when a plan entry is created, so changes apply
+	// to plans prepared afterward. reachEvictions counts reach-memo
+	// evictions across every plan of the engine.
+	reachCap       atomic.Int64
+	reachEvictions atomic.Int64
 }
 
 // Evaluator executes paths against one database. It is a cheap per-caller
@@ -125,8 +132,42 @@ func NewEvaluatorWithLog(db *relation.Database, audited *relation.Table) *Evalua
 		eng.logPatients[r] = row[pi]
 		eng.logUsers[r] = row[ui]
 	}
+	eng.reachCap.Store(int64(defaultReachMemoCap(n)))
 	return &Evaluator{engine: eng}
 }
+
+// defaultReachMemoCap sizes the per-plan reach-memo bound off the audited
+// log's cardinality: a quarter of the log's rows, floored so small datasets
+// never evict. Distinct start values cannot exceed the row count, so the
+// memo stays a bounded fraction of the log while typical working sets (far
+// fewer distinct patients than rows) still fit without eviction.
+func defaultReachMemoCap(logRows int) int {
+	const floor = 1024
+	cap := logRows / 4
+	if cap < floor {
+		cap = floor
+	}
+	return cap
+}
+
+// SetReachMemoCap bounds how many forward-propagation results each compiled
+// plan may keep resident (the reach memo behind ExplainedRange); excess
+// entries are evicted clock-wise and transparently recomputed on the next
+// miss, so results never change — only memory and recomputation trade off.
+// cap <= 0 removes the bound. The setting is engine-wide (shared by every
+// Clone) and applies to plans prepared after the call; call InvalidatePlans
+// to rebuild existing entries under the new bound. The default is sized off
+// the log's row count; see PlanCacheStats for the observed eviction counts.
+func (ev *Evaluator) SetReachMemoCap(cap int) {
+	if cap < 0 {
+		cap = 0
+	}
+	ev.engine.reachCap.Store(int64(cap))
+}
+
+// ReachMemoCap returns the configured per-plan reach-memo bound (0 =
+// unbounded).
+func (ev *Evaluator) ReachMemoCap() int { return int(ev.engine.reachCap.Load()) }
 
 // Clone returns a new cursor over the same immutable engine: same database,
 // log, and projections, but fresh statistics counters. The clone may be used

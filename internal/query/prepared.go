@@ -133,14 +133,10 @@ func (pp *Prepared) ExplainedRange(lo, hi int) []bool {
 	out := make([]bool, hi-lo)
 	for r := lo; r < hi; r++ {
 		sv := starts[r]
-		var set valueSet
-		if v, ok := pp.ent.reach.Load(sv); ok {
-			set = v.(valueSet)
-		} else {
+		set, ok := pp.ent.reach.get(sv)
+		if !ok {
 			set = propagate(pp.ent.pl, sv)
-			if v, loaded := pp.ent.reach.LoadOrStore(sv, set); loaded {
-				set = v.(valueSet)
-			}
+			pp.ent.reach.put(sv, set)
 		}
 		out[r-lo] = set.has(ends[r])
 	}
@@ -196,18 +192,20 @@ type cachedPlan struct {
 	// pass runs once and a patient whose rows span several shards is
 	// propagated once, not once per shard — without this, row-range
 	// sharding would redo most of the propagation work in every shard and
-	// scale poorly. Only the row-classification paths (ExplainedRows /
-	// ExplainedRange / ConnectedRows / ConnectedRange) populate them;
-	// Support keeps its propagation call-local because the miner's
-	// canonical-key support cache already ensures each candidate condition
-	// set is evaluated once, and pinning propagation sets for every mined
-	// candidate in an engine-lifetime cache would grow memory without
-	// bound. Racing workers may duplicate a reach propagation; LoadOrStore
-	// keeps the first result, and propagate is deterministic, so results
-	// are identical.
+	// scale poorly. The reach memo is bounded (engine reachCap, clock
+	// eviction — see reachCache) so a plan entry retains a working set, not
+	// one propagation per distinct start value for its whole life. Only the
+	// row-classification paths (ExplainedRows / ExplainedRange /
+	// ConnectedRows / ConnectedRange) populate it; Support keeps its
+	// propagation call-local because the miner's canonical-key support
+	// cache already ensures each candidate condition set is evaluated once,
+	// and pinning propagation sets for every mined candidate in an
+	// engine-lifetime cache would grow memory without bound. Racing workers
+	// may duplicate a reach propagation; the first put wins, and propagate
+	// is deterministic, so results are identical.
 	feasOnce sync.Once
 	feas     valueSet
-	reach    sync.Map // relation.Value -> valueSet
+	reach    *reachCache
 }
 
 // planEntry returns the cache entry for key, creating it if absent. The
@@ -236,7 +234,7 @@ func (eng *engine) planEntry(key string) *cachedPlan {
 		return ent
 	}
 	eng.planMisses.Add(1)
-	ent := &cachedPlan{}
+	ent := &cachedPlan{reach: newReachCache(int(eng.reachCap.Load()), &eng.reachEvictions)}
 	eng.plans[key] = ent
 	return ent
 }
@@ -254,9 +252,42 @@ func (ev *Evaluator) InvalidatePlans() {
 	eng.planMu.Unlock()
 }
 
-// PlanCacheStats returns the engine-wide plan-cache hit and miss counts.
-// Unlike the per-cursor query counters, these are shared by all clones: a
-// hit on any cursor counts here.
-func (ev *Evaluator) PlanCacheStats() (hits, misses int64) {
-	return ev.engine.planHits.Load(), ev.engine.planMisses.Load()
+// PlanCacheStats is a snapshot of the engine-wide plan-cache counters:
+// lookup hits/misses, plus the bounded reach memo's eviction count, resident
+// entry total, and configured per-plan cap.
+type PlanCacheStats struct {
+	// Hits and Misses count plan-cache lookups (Prepare calls) across every
+	// cursor sharing the engine.
+	Hits, Misses int64
+	// ReachEvictions counts reach-memo entries evicted under the cap, summed
+	// over all plans for the life of the engine (it survives cache
+	// invalidation).
+	ReachEvictions int64
+	// ReachEntries is the number of propagation results currently resident
+	// across all cached plans' reach memos.
+	ReachEntries int
+	// ReachCap is the configured per-plan bound (0 = unbounded); see
+	// SetReachMemoCap.
+	ReachCap int
+}
+
+// PlanCacheStats returns the engine-wide plan-cache counters. Unlike the
+// per-cursor query counters, these are shared by all clones: a hit on any
+// cursor counts here.
+func (ev *Evaluator) PlanCacheStats() PlanCacheStats {
+	eng := ev.engine
+	st := PlanCacheStats{
+		Hits:           eng.planHits.Load(),
+		Misses:         eng.planMisses.Load(),
+		ReachEvictions: eng.reachEvictions.Load(),
+		ReachCap:       int(eng.reachCap.Load()),
+	}
+	eng.planMu.RLock()
+	for _, ent := range eng.plans {
+		if ent.reach != nil {
+			st.ReachEntries += ent.reach.len()
+		}
+	}
+	eng.planMu.RUnlock()
+	return st
 }

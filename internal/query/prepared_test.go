@@ -117,22 +117,22 @@ func TestPlanCacheSharedAcrossCursors(t *testing.T) {
 	closed, open := preparedPaths(t)
 	ev := query.NewEvaluator(db)
 
-	if hits, misses := ev.PlanCacheStats(); hits != 0 || misses != 0 {
-		t.Fatalf("fresh engine cache stats = %d hits, %d misses", hits, misses)
+	if st := ev.PlanCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("fresh engine cache stats = %d hits, %d misses", st.Hits, st.Misses)
 	}
 	ev.Prepare(closed)
-	if hits, misses := ev.PlanCacheStats(); hits != 0 || misses != 1 {
-		t.Fatalf("after first Prepare: %d hits, %d misses", hits, misses)
+	if st := ev.PlanCacheStats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("after first Prepare: %d hits, %d misses", st.Hits, st.Misses)
 	}
 	ev.Prepare(closed)
 	clone := ev.Clone()
 	clone.Prepare(closed)
-	if hits, misses := ev.PlanCacheStats(); hits != 2 || misses != 1 {
-		t.Fatalf("after reuse: %d hits, %d misses, want 2 hits, 1 miss", hits, misses)
+	if st := ev.PlanCacheStats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("after reuse: %d hits, %d misses, want 2 hits, 1 miss", st.Hits, st.Misses)
 	}
 	clone.Prepare(open)
-	if hits, misses := ev.PlanCacheStats(); hits != 2 || misses != 2 {
-		t.Fatalf("after second path: %d hits, %d misses, want 2 hits, 2 misses", hits, misses)
+	if st := ev.PlanCacheStats(); st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("after second path: %d hits, %d misses, want 2 hits, 2 misses", st.Hits, st.Misses)
 	}
 }
 
@@ -149,9 +149,9 @@ func TestPlanCacheCanonicalSharing(t *testing.T) {
 
 	ev := query.NewEvaluator(db)
 	want := ev.Prepare(closed).ExplainedRows()
-	_, misses := ev.PlanCacheStats()
+	misses := ev.PlanCacheStats().Misses
 	got := ev.Prepare(rev).ExplainedRows()
-	if _, misses2 := ev.PlanCacheStats(); misses2 != misses {
+	if misses2 := ev.PlanCacheStats().Misses; misses2 != misses {
 		t.Errorf("reverse path recompiled: misses %d -> %d", misses, misses2)
 	}
 	if !reflect.DeepEqual(got, want) {
@@ -178,9 +178,9 @@ func TestPlanCacheInvalidation(t *testing.T) {
 	// Append phase: give Carol an appointment with Mike. The table contract
 	// allows this only with exclusive access, which a sequential test has.
 	db.MustTable("Appointments").Append(relation.Int(carol), relation.Date(2), relation.Int(mike+100))
-	_, missesBefore := ev.PlanCacheStats()
+	missesBefore := ev.PlanCacheStats().Misses
 	after := ev.Prepare(closed).ExplainedRows()
-	if _, misses := ev.PlanCacheStats(); misses != missesBefore+1 {
+	if misses := ev.PlanCacheStats().Misses; misses != missesBefore+1 {
 		t.Errorf("Append did not invalidate plan cache: misses %d -> %d", missesBefore, misses)
 	}
 	if !after[3] {
@@ -190,17 +190,17 @@ func TestPlanCacheInvalidation(t *testing.T) {
 	// AddTable phase: replacing the table must also invalidate.
 	repl := db.MustTable("Appointments").Clone("Appointments")
 	db.AddTable(repl)
-	_, missesBefore = ev.PlanCacheStats()
+	missesBefore = ev.PlanCacheStats().Misses
 	ev.Prepare(closed)
-	if _, misses := ev.PlanCacheStats(); misses != missesBefore+1 {
+	if misses := ev.PlanCacheStats().Misses; misses != missesBefore+1 {
 		t.Errorf("AddTable did not invalidate plan cache: misses %d -> %d", missesBefore, misses)
 	}
 
 	// InvalidatePlans forces recompilation without any mutation.
-	_, missesBefore = ev.PlanCacheStats()
+	missesBefore = ev.PlanCacheStats().Misses
 	ev.InvalidatePlans()
 	ev.Prepare(closed)
-	if _, misses := ev.PlanCacheStats(); misses != missesBefore+1 {
+	if misses := ev.PlanCacheStats().Misses; misses != missesBefore+1 {
 		t.Errorf("InvalidatePlans did not drop the cache: misses %d -> %d", missesBefore, misses)
 	}
 }
@@ -242,8 +242,8 @@ func TestPreparedConcurrentShards(t *testing.T) {
 	if !reflect.DeepEqual(gotOpen, wantOpen) {
 		t.Errorf("concurrent sharded ConnectedRange = %v, want %v", gotOpen, wantOpen)
 	}
-	if hits, misses := ev.PlanCacheStats(); misses == 0 || hits == 0 {
-		t.Errorf("expected both hits and misses after concurrent prepare, got %d hits, %d misses", hits, misses)
+	if st := ev.PlanCacheStats(); st.Misses == 0 || st.Hits == 0 {
+		t.Errorf("expected both hits and misses after concurrent prepare, got %d hits, %d misses", st.Hits, st.Misses)
 	}
 }
 

@@ -1,0 +1,141 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// reachShardCount is the number of independently locked shards of one plan's
+// reach memo. Workers classifying disjoint log-row ranges hit the memo from
+// every goroutine of the pool, so it is sharded by key hash to keep the hot
+// path a short critical section instead of one contended mutex.
+const reachShardCount = 8
+
+// reachCache is a bounded concurrent memo of forward-propagation results
+// (start value -> reachable end-value set) for one compiled closed plan. It
+// replaces the unbounded sync.Map the prepared-plan cache used to retain for
+// the life of a plan entry: entries are capped and evicted with a clock
+// (second-chance) sweep, so a plan that classifies a hospital-scale log pins
+// a bounded working set of propagation results instead of one per distinct
+// start value forever. Eviction never changes results — propagate is
+// deterministic, so an evicted entry is simply recomputed on the next miss;
+// the differential tests run the cached and evicted paths against each
+// other.
+type reachCache struct {
+	// shardCap bounds each shard's resident entries; 0 means unbounded
+	// (the pre-bounding behavior, available via SetReachMemoCap(0)).
+	shardCap  int
+	evictions *atomic.Int64 // engine-wide eviction counter, shared by all plans
+	shards    [reachShardCount]reachShard
+}
+
+type reachShard struct {
+	mu      sync.Mutex
+	entries map[relation.Value]*reachEntry
+	ring    []relation.Value // clock ring over resident keys
+	hand    int              // next ring position the clock sweep inspects
+}
+
+type reachEntry struct {
+	set valueSet
+	ref bool // second-chance bit: set on every hit, cleared by the sweep
+}
+
+// newReachCache builds a memo capped at roughly cap entries across all
+// shards (cap <= 0 means unbounded), charging evictions to the given
+// engine-wide counter.
+func newReachCache(cap int, evictions *atomic.Int64) *reachCache {
+	c := &reachCache{evictions: evictions}
+	if cap > 0 {
+		c.shardCap = (cap + reachShardCount - 1) / reachShardCount
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[relation.Value]*reachEntry)
+	}
+	return c
+}
+
+// shard picks the shard for a key with an FNV-1a hash over the value's
+// payload (values are small scalars; strings dominate only in name-typed
+// columns).
+func (c *reachCache) shard(v relation.Value) *reachShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(v.Kind)) * prime64
+	x := uint64(v.Int)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * prime64
+		x >>= 8
+	}
+	for i := 0; i < len(v.Str); i++ {
+		h = (h ^ uint64(v.Str[i])) * prime64
+	}
+	return &c.shards[h%reachShardCount]
+}
+
+// get returns the memoized set for v and marks it recently used.
+func (c *reachCache) get(v relation.Value) (valueSet, bool) {
+	s := c.shard(v)
+	s.mu.Lock()
+	e, ok := s.entries[v]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	e.ref = true
+	set := e.set
+	s.mu.Unlock()
+	return set, true
+}
+
+// put installs set for v, evicting one resident entry via the clock sweep if
+// the shard is at capacity. Racing workers may propagate the same start
+// value concurrently; the first put wins and later ones are dropped, which
+// is fine because propagate is deterministic.
+func (c *reachCache) put(v relation.Value, set valueSet) {
+	s := c.shard(v)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[v]; ok {
+		return
+	}
+	if c.shardCap > 0 && len(s.entries) >= c.shardCap {
+		// Clock sweep: clear reference bits until an unreferenced entry is
+		// found (at most two passes — after one full sweep every bit is
+		// clear) and replace it in place.
+		for {
+			k := s.ring[s.hand]
+			e := s.entries[k]
+			if e.ref {
+				e.ref = false
+				s.hand = (s.hand + 1) % len(s.ring)
+				continue
+			}
+			delete(s.entries, k)
+			s.ring[s.hand] = v
+			s.entries[v] = &reachEntry{set: set, ref: true}
+			s.hand = (s.hand + 1) % len(s.ring)
+			c.evictions.Add(1)
+			return
+		}
+	}
+	s.ring = append(s.ring, v)
+	s.entries[v] = &reachEntry{set: set, ref: true}
+}
+
+// len returns the resident entry count across all shards.
+func (c *reachCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package query_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ehr"
+	"repro/internal/explain"
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/schemagraph"
+)
+
+// manyPatientDB builds a database whose log has `patients` distinct start
+// values (each accessed twice) so the closed path's reach memo is exercised
+// across far more keys than a bounded cap admits. Every patient p has an
+// appointment with doctor p%7, and doctors map to audit ids 100+d; even
+// patients are accessed by their own doctor (explained), odd ones by a
+// different one (not).
+func manyPatientDB(patients int) *relation.Database {
+	db := relation.NewDatabase()
+	log := relation.NewTable("Log", "Lid", "Date", "User", "Patient")
+	appt := relation.NewTable("Appointments", "Patient", "Date", "Doctor")
+	um := relation.NewTable("UserMapping", "CaregiverID", "AuditID")
+	for d := 0; d < 7; d++ {
+		um.Append(relation.Int(int64(d)), relation.Int(int64(100+d)))
+	}
+	lid := int64(0)
+	for p := 0; p < patients; p++ {
+		doctor := int64(p % 7)
+		appt.Append(relation.Int(int64(p)), relation.Date(1), relation.Int(doctor))
+		for k := 0; k < 2; k++ {
+			user := 100 + doctor
+			if p%2 == 1 {
+				user = 100 + (doctor+1)%7
+			}
+			log.Append(relation.Int(lid), relation.Date(2), relation.Int(user), relation.Int(int64(p)))
+			lid++
+		}
+	}
+	db.AddTable(log)
+	db.AddTable(appt)
+	db.AddTable(um)
+	return db
+}
+
+// reachTestPath is the bridged closed appointment path over manyPatientDB.
+func reachTestPath(t *testing.T) pathmodel.Path {
+	t.Helper()
+	via := schemagraph.Bridge{Table: "UserMapping", FromColumn: "CaregiverID", ToColumn: "AuditID"}
+	return mustPath(t,
+		schemagraph.Edge{From: pathmodel.StartAttr(), To: attr("Appointments", "Patient"), Kind: schemagraph.KeyFK},
+		schemagraph.Edge{From: attr("Appointments", "Doctor"), To: pathmodel.EndAttr(), Kind: schemagraph.KeyFK, Via: &via},
+	)
+}
+
+// TestReachMemoCapEvicts pins the bounded reach memo: with a cap far below
+// the distinct-start count, evictions occur, residency stays at or under the
+// bound, and the classification is identical to the unbounded memo — the
+// cached and evicted paths must be indistinguishable in results.
+func TestReachMemoCapEvicts(t *testing.T) {
+	const patients = 400
+	db := manyPatientDB(patients)
+	path := reachTestPath(t)
+
+	unbounded := query.NewEvaluator(db)
+	unbounded.SetReachMemoCap(0)
+	want := unbounded.Prepare(path).ExplainedRows()
+	if st := unbounded.PlanCacheStats(); st.ReachEvictions != 0 {
+		t.Fatalf("unbounded memo evicted %d entries", st.ReachEvictions)
+	}
+
+	const cap = 32
+	ev := query.NewEvaluator(db)
+	ev.SetReachMemoCap(cap)
+	pp := ev.Prepare(path)
+	got := pp.ExplainedRows()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("bounded reach memo changed classification results")
+	}
+
+	st := ev.PlanCacheStats()
+	if st.ReachCap != cap {
+		t.Errorf("ReachCap = %d, want %d", st.ReachCap, cap)
+	}
+	if st.ReachEvictions == 0 {
+		t.Errorf("no evictions with %d distinct starts and cap %d", patients, cap)
+	}
+	// The sharded clock rounds the bound up to full shards; it must still be
+	// a small constant over the configured cap, not proportional to the key
+	// universe.
+	if st.ReachEntries > cap+8 {
+		t.Errorf("ReachEntries = %d, want <= %d", st.ReachEntries, cap+8)
+	}
+
+	// Re-evaluating after eviction (mixed cached + recomputed entries) must
+	// again match, and so must a sharded evaluation.
+	if again := pp.ExplainedRows(); !reflect.DeepEqual(again, want) {
+		t.Fatal("second pass over evicted memo changed results")
+	}
+	n := ev.Log().NumRows()
+	var stitched []bool
+	for lo := 0; lo < n; lo += 97 {
+		hi := lo + 97
+		if hi > n {
+			hi = n
+		}
+		stitched = append(stitched, pp.ExplainedRange(lo, hi)...)
+	}
+	if !reflect.DeepEqual(stitched, want) {
+		t.Fatal("sharded evaluation over bounded memo changed results")
+	}
+}
+
+// TestReachMemoDefaultCap pins the default sizing: off the log's row count
+// with a floor, engine-wide and visible through the accessor.
+func TestReachMemoDefaultCap(t *testing.T) {
+	small := query.NewEvaluator(manyPatientDB(10))
+	if got := small.ReachMemoCap(); got != 1024 {
+		t.Errorf("small-log default cap = %d, want the 1024 floor", got)
+	}
+	ds := ehr.Generate(ehr.Tiny())
+	ev := query.NewEvaluator(ds.DB)
+	n := ev.Log().NumRows()
+	want := n / 4
+	if want < 1024 {
+		want = 1024
+	}
+	if got := ev.ReachMemoCap(); got != want {
+		t.Errorf("default cap = %d, want %d for %d rows", got, want, n)
+	}
+	if got := ev.Clone().ReachMemoCap(); got != ev.ReachMemoCap() {
+		t.Error("clone does not share the engine cap")
+	}
+}
+
+// TestReachMemoBoundedOnMedium evaluates a catalog template over the Medium
+// dataset (~95k log rows, ~9.6k distinct patients) under a tight cap and
+// asserts residency stays bounded while results stay identical to the
+// unbounded evaluation — the memory property that lets a plan entry live for
+// the engine's lifetime without pinning one propagation per patient.
+func TestReachMemoBoundedOnMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Medium dataset in -short mode")
+	}
+	ds := ehr.Generate(ehr.Medium())
+	tpl := explain.WithDrTemplate("appt-with-dr", "Appointments", "an appointment")
+
+	unbounded := query.NewEvaluator(ds.DB)
+	unbounded.SetReachMemoCap(0)
+	want := unbounded.Prepare(tpl.Path).ExplainedRows()
+	stU := unbounded.PlanCacheStats()
+
+	const cap = 512
+	ev := query.NewEvaluator(ds.DB)
+	ev.SetReachMemoCap(cap)
+	got := ev.Prepare(tpl.Path).ExplainedRows()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("bounded memo changed Medium classification")
+	}
+	st := ev.PlanCacheStats()
+	if st.ReachEntries > cap+8 {
+		t.Errorf("Medium residency = %d entries, want <= %d", st.ReachEntries, cap+8)
+	}
+	if st.ReachEvictions == 0 {
+		t.Error("expected evictions on Medium under a tight cap")
+	}
+	if stU.ReachEntries <= cap {
+		t.Errorf("unbounded run retained only %d entries; dataset too small to prove bounding", stU.ReachEntries)
+	}
+}
