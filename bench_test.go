@@ -22,6 +22,7 @@ import (
 	"repro/internal/ehr"
 	"repro/internal/experiments"
 	"repro/internal/explain"
+	"repro/internal/federate"
 	"repro/internal/groups"
 	"repro/internal/mine"
 	"repro/internal/query"
@@ -418,6 +419,74 @@ func BenchmarkExplainAllMedium(b *testing.B) {
 			worst = d
 		}
 		runtime.KeepAlive(reports)
+	}
+	if worst < 0 {
+		worst = 0
+	}
+	b.ReportMetric(worst, "live-B")
+}
+
+// --- federated benchmarks --------------------------------------------------
+
+var (
+	fedOnce sync.Once
+	fedInst *federate.Federation
+	fedErr  string
+)
+
+// mediumFederation partitions the Medium auditor's database across 4 shard
+// engines (time-range shard key, same non-group catalog) with masks
+// pre-warmed, so BenchmarkFederatedStream times the shard-parallel
+// report path plus the k-way merge and nothing else.
+func mediumFederation(b *testing.B) *federate.Federation {
+	b.Helper()
+	a := mediumAuditor(b)
+	fedOnce.Do(func() {
+		f, err := federate.Split(a.Database(), ehr.SchemaGraph(ehr.DefaultGraphOptions()), 4, nil,
+			federate.WithoutGroups())
+		if err != nil {
+			fedErr = err.Error()
+			return
+		}
+		f.AddTemplates(explain.Handcrafted(true, false).All()...)
+		f.ExplainedFraction(context.Background(), 8) // warm masks
+		fedInst = f
+	})
+	if fedErr != "" {
+		b.Fatal(fedErr)
+	}
+	return fedInst
+}
+
+// BenchmarkFederatedStream drives the full federated audit of the Medium
+// log — 4 shard engines, each streaming its slice through the bounded core
+// pipeline, merged back into global log order — through a consuming sink.
+// Compare against BenchmarkStreamReports (one engine, same log, same
+// catalog): the work is identical, so the delta is the federation overhead
+// (per-shard pipelines plus the k-way merge), and the live-B metric shows
+// the merge's bounded buffering retains no more than the single-engine
+// stream does.
+func BenchmarkFederatedStream(b *testing.B) {
+	f := mediumFederation(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		before := liveHeap()
+		texts := 0
+		if err := f.StreamReports(ctx, 8, func(rep core.AccessReport) error {
+			texts += len(rep.Explanations)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if texts == 0 {
+			b.Fatal("no explanations streamed")
+		}
+		if d := liveHeap() - before; d > worst {
+			worst = d
+		}
 	}
 	if worst < 0 {
 		worst = 0

@@ -8,10 +8,12 @@
 //
 //	ebaudit [flags] summary
 //	ebaudit [flags] patient -id N        # portal report for one patient
-//	ebaudit [flags] audit [-n N] [-v] [-stream]
+//	ebaudit [flags] audit [-n N] [-v] [-stream] [-shards K]
 //	                                     # batch-audit every access in parallel;
 //	                                     # -stream emits NDJSON reports in log
-//	                                     # order with bounded memory
+//	                                     # order with bounded memory; -shards K
+//	                                     # partitions the log across K federated
+//	                                     # engines (identical output)
 //	ebaudit [flags] mine [-algo name]    # mine templates for review
 //	ebaudit [flags] unexplained [-n N]   # misuse-detection shortlist
 //	ebaudit [flags] groups [-depth D]    # collaborative-group composition
@@ -19,14 +21,22 @@
 //	ebaudit [flags] export -dir DIR      # dump every table as typed CSV
 //
 // The -j flag sets the worker count of the batch auditing engine and the
-// miner's candidate-evaluation stage (0 means GOMAXPROCS); summary, audit,
-// mine, and unexplained all run on it. audit -v additionally reports the
-// query engine's plan-cache and reach-memo counters.
+// miner's candidate-evaluation stage (default GOMAXPROCS; values below 1 are
+// rejected); summary, audit, mine, and unexplained all run on it. A
+// federated audit divides the budget across the shard engines but always
+// runs at least one worker per shard, so its effective parallelism is
+// max(-j, shard count). audit -v additionally reports the query engine's
+// plan-cache and reach-memo counters (per shard, when federated).
 //
 // The -data flag loads the database from a directory of typed CSVs (the
 // format `ebaudit export` writes) instead of generating one; malformed input
 // — a missing Log table, a missing required column, a bad CSV row — is
-// reported as a proper error with nonzero exit status, never a panic.
+// reported as a proper error with nonzero exit status, never a panic. A
+// comma-separated list (-data dirA,dirB,...) loads each directory as one
+// shard of a federation: the shard logs are merged into one chronology
+// (repeat-access history and collaborative groups span shards) while each
+// shard's accesses are explained against its own metadata, and every
+// subcommand except export answers over the logical merged log.
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ehr"
 	"repro/internal/explain"
+	"repro/internal/federate"
 	"repro/internal/groups"
 	"repro/internal/mine"
 	"repro/internal/pathmodel"
@@ -79,8 +90,8 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 	fs.SetOutput(stderr)
 	scale := fs.String("scale", "tiny", "dataset scale: tiny, small, or medium")
 	seed := fs.Int64("seed", 1, "generator seed")
-	parallelism := fs.Int("j", 0, "batch auditing workers (0 = GOMAXPROCS)")
-	dataDir := fs.String("data", "", "load tables from a directory of typed CSVs (see 'ebaudit export') instead of generating")
+	parallelism := fs.Int("j", runtime.GOMAXPROCS(0), "batch auditing workers")
+	dataDir := fs.String("data", "", "load tables from a directory of typed CSVs (see 'ebaudit export') instead of generating; a comma-separated list federates one shard per directory")
 	if err := fs.Parse(argv); err != nil {
 		return errUsage
 	}
@@ -88,9 +99,24 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 		usage(stderr)
 		return errUsage
 	}
+	if *parallelism < 1 {
+		return fmt.Errorf("-j must be at least 1, got %d", *parallelism)
+	}
+
+	var dataDirs []string
+	if *dataDir != "" {
+		dataDirs = strings.Split(*dataDir, ",")
+		for i, d := range dataDirs {
+			d = strings.TrimSpace(d)
+			if d == "" {
+				return fmt.Errorf("-data list %q contains an empty entry", *dataDir)
+			}
+			dataDirs[i] = d
+		}
+	}
 
 	var a *app
-	if *dataDir != "" {
+	if len(dataDirs) > 0 {
 		// Malformed loaded datasets can trip invariants deep inside the
 		// relation/query layers (they panic on schema bugs, which hand-built
 		// data can reproduce); convert those into CLI errors instead of
@@ -101,7 +127,11 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 				err = fmt.Errorf("invalid dataset: %v", r)
 			}
 		}()
-		a, err = newAppFromData(*dataDir, *parallelism, stderr)
+		if len(dataDirs) > 1 {
+			a, err = newAppFromShards(dataDirs, *parallelism, stderr)
+		} else {
+			a, err = newAppFromData(dataDirs[0], *parallelism, stderr)
+		}
 	} else {
 		cfg := ehr.Tiny()
 		switch *scale {
@@ -147,17 +177,20 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
-	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals), -stream (NDJSON reports in log order, bounded memory)")
+	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR[,DIR...]] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
+	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals), -stream (NDJSON reports in log order, bounded memory), -shards K (federated shard-parallel audit)")
 }
 
-// app holds the prepared auditor.
+// app holds the prepared auditor — a single engine, or a federation of
+// shard engines when -data named several directories (fed non-nil; auditor
+// is then nil).
 type app struct {
 	ds      *ehr.Dataset // nil when the database was loaded via -data
 	db      *relation.Database
 	auditor *core.Auditor
+	fed     *federate.Federation
 	hier    *groups.Hierarchy
-	// parallelism is the batch engine's worker count (0 = GOMAXPROCS).
+	// parallelism is the batch engine's worker count.
 	parallelism    int
 	stdout, stderr io.Writer
 }
@@ -169,12 +202,6 @@ func newApp(cfg ehr.Config, parallelism int) *app {
 	hier := a.BuildGroups(core.GroupsOptions{})
 	a.AddTemplates(explain.Handcrafted(true, true).All()...)
 	return &app{ds: ds, db: ds.DB, auditor: a, hier: hier, parallelism: parallelism}
-}
-
-// requiredLogColumns are the Log columns every ebaudit workflow needs.
-var requiredLogColumns = []string{
-	pathmodel.LogIDColumn, pathmodel.LogDateColumn,
-	pathmodel.LogUserColumn, pathmodel.LogPatientColumn,
 }
 
 // loadDatabase reads every *.csv table in dir (the `ebaudit export` format)
@@ -213,7 +240,7 @@ func loadDatabase(dir string) (*relation.Database, error) {
 		return nil, fmt.Errorf("dataset in %s has no %s table (expected %s.csv)",
 			dir, pathmodel.LogTable, pathmodel.LogTable)
 	}
-	for _, col := range requiredLogColumns {
+	for _, col := range pathmodel.RequiredLogColumns() {
 		if !log.HasColumn(col) {
 			return nil, fmt.Errorf("%s table lacks required column %q (have %s)",
 				pathmodel.LogTable, col, strings.Join(log.Columns(), ", "))
@@ -242,6 +269,71 @@ func newAppFromData(dir string, parallelism int, stderr io.Writer) (*app, error)
 		a.AddTemplates(t)
 	}
 	return &app{db: db, auditor: a, hier: hier, parallelism: parallelism}, nil
+}
+
+// newAppFromShards builds a federated app over several loaded directories,
+// one shard per directory: the shard logs are merged into one chronology and
+// each shard's accesses are explained against its own metadata (see
+// federate.Join). Catalog templates whose event tables are absent from any
+// shard are skipped with a note; the Groups table does not count as missing
+// because the federation trains and installs one over the merged log.
+func newAppFromShards(dirs []string, parallelism int, stderr io.Writer) (*app, error) {
+	dbs := make([]*relation.Database, len(dirs))
+	names := make([]string, len(dirs))
+	for i, dir := range dirs {
+		db, err := loadDatabase(dir)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", dir, err)
+		}
+		dbs[i] = db
+		names[i] = filepath.Base(filepath.Clean(dir))
+	}
+	fed, err := federate.Join(dbs, ehr.SchemaGraph(ehr.DefaultGraphOptions()),
+		federate.WithShardNames(names...))
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range explain.Handcrafted(true, true).All() {
+		missing := map[string]bool{}
+		for _, db := range dbs {
+			for _, m := range missingTables(db, t) {
+				// The federation trains and installs a merged-log Groups
+				// table into every shard, so it never counts as missing.
+				if m != core.DefaultGroupsTable {
+					missing[m] = true
+				}
+			}
+		}
+		if len(missing) > 0 {
+			var list []string
+			for m := range missing {
+				list = append(list, m)
+			}
+			sort.Strings(list)
+			fmt.Fprintf(stderr, "ebaudit: skipping template %s (missing tables: %s)\n",
+				t.Name(), strings.Join(list, ", "))
+			continue
+		}
+		fed.AddTemplates(t)
+	}
+	return &app{fed: fed, hier: fed.Hierarchy(), parallelism: parallelism}, nil
+}
+
+// federation partitions the single-engine app's log across k shard engines
+// for `audit -shards K`, reusing the app's Groups table, namer, and
+// registered templates so the federated output is identical to the single
+// engine's.
+func (a *app) federation(k int) (*federate.Federation, error) {
+	var opts []federate.Option
+	if a.ds != nil {
+		opts = append(opts, federate.WithNamer(a.ds))
+	}
+	fed, err := federate.Split(a.db, ehr.SchemaGraph(ehr.DefaultGraphOptions()), k, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	fed.AddTemplates(a.auditor.Templates()...)
+	return fed, nil
 }
 
 // missingTables lists the tables a template's path references that db does
@@ -286,6 +378,15 @@ func (a *app) patientName(v relation.Value) string {
 }
 
 func (a *app) summary() error {
+	if a.fed != nil {
+		fmt.Fprintln(a.stdout, a.fed.Summary())
+		for _, si := range a.fed.ShardInfos() {
+			fmt.Fprintf(a.stdout, "  %s: %d rows\n", si.Name, si.Rows)
+		}
+		fmt.Fprintf(a.stdout, "explained fraction with hand-crafted templates: %.3f\n",
+			a.fed.ExplainedFraction(context.Background(), a.parallelism))
+		return nil
+	}
 	fmt.Fprintln(a.stdout, a.auditor.Summary())
 	for _, line := range a.db.Summary() {
 		fmt.Fprintln(a.stdout, "  "+line)
@@ -336,27 +437,57 @@ func toNDJSON(rep core.AccessReport) ndjsonReport {
 // fraction, and a sample of the unexplained residue; -stream instead pipes
 // every report to stdout as NDJSON in log order through the bounded
 // streaming pipeline (memory stays flat no matter how large the log), with
-// the human-readable summary on stderr.
+// the human-readable summary on stderr. -shards K auto-partitions the log
+// across K federated shard engines (time-range shard key); the reports —
+// streamed or materialized — are identical to the single-engine audit, only
+// the engine topology changes.
 func (a *app) audit(args []string) error {
 	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
 	fs.SetOutput(a.stderr)
 	n := fs.Int("n", 10, "maximum unexplained rows to show")
 	verbose := fs.Bool("v", false, "also report engine internals (plan-cache and reach-memo counters)")
 	stream := fs.Bool("stream", false, "emit every report as NDJSON on stdout (log order, bounded memory)")
+	shards := fs.Int("shards", 0, "partition the log across K federated shard engines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// run() validates -j >= 1, so the worker count is always concrete here.
 	workers := a.parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+
+	fed := a.fed
+	shardsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
+	if shardsSet {
+		if fed != nil {
+			return errors.New("audit -shards cannot be combined with a multi-directory -data federation")
+		}
+		if *shards < 1 {
+			return fmt.Errorf("audit -shards must be at least 1, got %d", *shards)
+		}
+		var err error
+		if fed, err = a.federation(*shards); err != nil {
+			return err
+		}
 	}
 
 	if *stream {
+		if fed != nil {
+			return a.auditStreamFederated(fed, workers, *verbose)
+		}
 		return a.auditStream(workers, *verbose)
 	}
 
 	start := time.Now()
-	reports := a.auditor.ExplainAll(context.Background(), workers)
+	var reports []core.AccessReport
+	if fed != nil {
+		reports = fed.ExplainAll(context.Background(), workers)
+	} else {
+		reports = a.auditor.ExplainAll(context.Background(), workers)
+	}
 	elapsed := time.Since(start)
 
 	explained := 0
@@ -369,13 +500,23 @@ func (a *app) audit(args []string) error {
 		}
 	}
 	total := len(reports)
-	fmt.Fprintf(a.stdout, "batch-audited %d accesses in %v (%.0f accesses/sec, %d workers)\n",
-		total, elapsed.Round(time.Millisecond),
-		float64(total)/elapsed.Seconds(), workers)
+	if fed != nil {
+		fmt.Fprintf(a.stdout, "federated batch-audited %d accesses across %d shards in %v (%.0f accesses/sec, %d workers)\n",
+			total, fed.NumShards(), elapsed.Round(time.Millisecond),
+			float64(total)/elapsed.Seconds(), workers)
+	} else {
+		fmt.Fprintf(a.stdout, "batch-audited %d accesses in %v (%.0f accesses/sec, %d workers)\n",
+			total, elapsed.Round(time.Millisecond),
+			float64(total)/elapsed.Seconds(), workers)
+	}
 	fmt.Fprintf(a.stdout, "explained: %d (%.2f%%), unexplained: %d\n",
 		explained, 100*float64(explained)/float64(max(total, 1)), len(unexplained))
 	if *verbose {
-		a.printEngineStats(a.stdout, workers)
+		if fed != nil {
+			a.printFederatedStats(a.stdout, fed)
+		} else {
+			a.printEngineStats(a.stdout, workers)
+		}
 	}
 	for i, r := range unexplained {
 		if i >= *n {
@@ -387,28 +528,71 @@ func (a *app) audit(args []string) error {
 	return nil
 }
 
-// auditStream is the NDJSON mode of the audit subcommand: reports flow
-// through core.Auditor.StreamReports straight to a buffered stdout encoder,
-// so the full-log report slice is never materialized.
-func (a *app) auditStream(workers int, verbose bool) error {
+// auditStreamFederated is the NDJSON mode of a federated audit: the shard
+// streams are merged into global log order and piped through the same
+// emission path as auditStream, so the emitted stream is byte-identical to
+// the single-engine -stream mode.
+func (a *app) auditStreamFederated(fed *federate.Federation, workers int, verbose bool) error {
+	total, explained, elapsed, err := a.streamNDJSON(func(fn func(core.AccessReport) error) error {
+		return fed.StreamReports(context.Background(), workers, fn)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.stderr, "streamed %d reports across %d shards in %v (%.0f accesses/sec, %d workers); explained: %d (%.2f%%)\n",
+		total, fed.NumShards(), elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(),
+		workers, explained, 100*float64(explained)/float64(max(total, 1)))
+	if verbose {
+		a.printFederatedStats(a.stderr, fed)
+	}
+	return nil
+}
+
+// printFederatedStats reports the aggregated plan-cache counters plus one
+// line per shard engine.
+func (a *app) printFederatedStats(w io.Writer, fed *federate.Federation) {
+	agg := fed.PlanCacheStats()
+	fmt.Fprintf(w, "plan cache (all shards): %d hits, %d misses; reach memo: %d resident entries, %d evictions\n",
+		agg.Hits, agg.Misses, agg.ReachEntries, agg.ReachEvictions)
+	for _, si := range fed.ShardInfos() {
+		fmt.Fprintf(w, "  %s: %d rows, plan cache %d hits / %d misses, reach memo %d entries / %d evictions (cap %d)\n",
+			si.Name, si.Rows, si.Stats.Hits, si.Stats.Misses,
+			si.Stats.ReachEntries, si.Stats.ReachEvictions, si.Stats.ReachCap)
+	}
+}
+
+// streamNDJSON pipes any report stream to stdout as buffered NDJSON — the
+// one emission path shared by the single-engine and federated -stream
+// modes, so the two cannot drift apart — and returns the stream's totals
+// for the stderr summary.
+func (a *app) streamNDJSON(stream func(fn func(core.AccessReport) error) error) (total, explained int, elapsed time.Duration, err error) {
 	bw := bufio.NewWriter(a.stdout)
 	enc := json.NewEncoder(bw)
 	start := time.Now()
-	total, explained := 0, 0
-	err := a.auditor.StreamReports(context.Background(), workers, func(rep core.AccessReport) error {
+	if err = stream(func(rep core.AccessReport) error {
 		total++
 		if rep.Explained() {
 			explained++
 		}
 		return enc.Encode(toNDJSON(rep))
+	}); err != nil {
+		return
+	}
+	err = bw.Flush()
+	elapsed = time.Since(start)
+	return
+}
+
+// auditStream is the NDJSON mode of the audit subcommand: reports flow
+// through core.Auditor.StreamReports straight to a buffered stdout encoder,
+// so the full-log report slice is never materialized.
+func (a *app) auditStream(workers int, verbose bool) error {
+	total, explained, elapsed, err := a.streamNDJSON(func(fn func(core.AccessReport) error) error {
+		return a.auditor.StreamReports(context.Background(), workers, fn)
 	})
 	if err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	elapsed := time.Since(start)
 	fmt.Fprintf(a.stderr, "streamed %d reports in %v (%.0f accesses/sec, %d workers); explained: %d (%.2f%%)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(),
 		workers, explained, 100*float64(explained)/float64(max(total, 1)))
@@ -435,7 +619,12 @@ func (a *app) patient(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reports := a.auditor.PatientReport(relation.Int(*id), 1)
+	var reports []core.AccessReport
+	if a.fed != nil {
+		reports = a.fed.PatientReport(relation.Int(*id), 1)
+	} else {
+		reports = a.auditor.PatientReport(relation.Int(*id), 1)
+	}
 	if len(reports) == 0 {
 		return fmt.Errorf("no accesses recorded for patient %d", *id)
 	}
@@ -470,7 +659,13 @@ func (a *app) mine(args []string) error {
 	opt.MaxLength = *maxLen
 	opt.SupportFraction = *support
 	opt.Parallelism = a.parallelism
-	res, err := a.auditor.MineTemplates(*algo, opt)
+	var res mine.Result
+	var err error
+	if a.fed != nil {
+		res, err = a.fed.MineTemplates(*algo, opt)
+	} else {
+		res, err = a.auditor.MineTemplates(*algo, opt)
+	}
 	if err != nil {
 		return err
 	}
@@ -492,24 +687,48 @@ func (a *app) unexplained(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if a.fed != nil {
+		rows := a.fed.UnexplainedAccesses(context.Background(), a.parallelism)
+		log := a.fed.MergedLog()
+		namer := explain.NullNamer{}
+		a.printUnexplained(rows, log.NumRows(), *n, func(r int) string {
+			return unexplainedLine(
+				log.Get(r, pathmodel.LogIDColumn).AsInt(), log.Get(r, pathmodel.LogDateColumn),
+				namer.UserName(log.Get(r, pathmodel.LogUserColumn)),
+				a.patientName(log.Get(r, pathmodel.LogPatientColumn)))
+		})
+		return nil
+	}
 	rows := a.auditor.UnexplainedAccessesParallel(context.Background(), a.parallelism)
-	log := a.auditor.Evaluator().Log()
-	fmt.Fprintf(a.stdout, "%d of %d accesses unexplained (%.2f%%)\n",
-		len(rows), log.NumRows(), 100*float64(len(rows))/float64(max(log.NumRows(), 1)))
-	for i, r := range rows {
-		if i >= *n {
-			fmt.Fprintf(a.stdout, "  ... and %d more\n", len(rows)-i)
-			break
-		}
+	a.printUnexplained(rows, a.auditor.Evaluator().Log().NumRows(), *n, func(r int) string {
 		rep := a.auditor.ExplainRow(r, 1)
-		line := fmt.Sprintf("  L%-6d %s  %-22s -> %-18s",
-			rep.Lid, rep.Date, rep.UserName, a.patientName(rep.Patient))
+		line := unexplainedLine(rep.Lid, rep.Date, rep.UserName, a.patientName(rep.Patient))
 		if a.ds != nil {
 			line += fmt.Sprintf(" (ground truth: %s)", a.ds.Causes[r])
 		}
-		fmt.Fprintln(a.stdout, line)
-	}
+		return line
+	})
 	return nil
+}
+
+// unexplainedLine renders one shortlist row; single-engine and federated
+// unexplained output share it so the two modes cannot drift apart.
+func unexplainedLine(lid int64, date relation.Value, userName, patientName string) string {
+	return fmt.Sprintf("  L%-6d %s  %-22s -> %-18s", lid, date, userName, patientName)
+}
+
+// printUnexplained prints the shortlist header and up to limit rendered
+// rows with the shared truncation footer.
+func (a *app) printUnexplained(rows []int, total, limit int, render func(r int) string) {
+	fmt.Fprintf(a.stdout, "%d of %d accesses unexplained (%.2f%%)\n",
+		len(rows), total, 100*float64(len(rows))/float64(max(total, 1)))
+	for i, r := range rows {
+		if i >= limit {
+			fmt.Fprintf(a.stdout, "  ... and %d more\n", len(rows)-i)
+			break
+		}
+		fmt.Fprintln(a.stdout, render(r))
+	}
 }
 
 func (a *app) groups(args []string) error {
@@ -518,6 +737,9 @@ func (a *app) groups(args []string) error {
 	depth := fs.Int("depth", 1, "hierarchy depth to display")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if a.hier == nil {
+		return errors.New("no collaborative-group hierarchy available")
 	}
 	d := *depth
 	if d > a.hier.MaxDepth() {
@@ -558,7 +780,13 @@ func (a *app) groups(args []string) error {
 }
 
 func (a *app) templates() error {
-	for _, t := range a.auditor.Templates() {
+	ts := func() []explain.Template {
+		if a.fed != nil {
+			return a.fed.Templates()
+		}
+		return a.auditor.Templates()
+	}()
+	for _, t := range ts {
 		fmt.Fprintf(a.stdout, "%s (length %d)\n%s\n\n", t.Name(), t.Length(), t.SQL())
 	}
 	return nil
@@ -568,6 +796,9 @@ func (a *app) templates() error {
 // synthetic hospital can be inspected with external tools or loaded back
 // with -data.
 func (a *app) export(args []string) error {
+	if a.fed != nil {
+		return errors.New("export is not supported over a federated -data load; export each shard directory's source instead")
+	}
 	fs := flag.NewFlagSet("export", flag.ContinueOnError)
 	fs.SetOutput(a.stderr)
 	dir := fs.String("dir", "ebaudit-export", "output directory")

@@ -162,3 +162,183 @@ func TestRunDataRoundTrip(t *testing.T) {
 		t.Fatal("stream produced no reports")
 	}
 }
+
+// TestRunFlagValidation pins the flag-misuse cases that must exit 1 with a
+// descriptive error (not a usage error, not a panic, not a silent default):
+// a worker count below 1, an empty entry in the -data list, and a federated
+// shard count below 1.
+func TestRunFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", dir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	cases := []struct {
+		name    string
+		argv    []string
+		wantSub string
+	}{
+		{"j zero", []string{"-j", "0", "summary"}, "-j must be at least 1"},
+		{"j negative", []string{"-j", "-4", "summary"}, "-j must be at least 1"},
+		{"empty data entry", []string{"-data", dir + ",,", "summary"}, "empty entry"},
+		{"shards zero", []string{"audit", "-shards", "0"}, "-shards must be at least 1"},
+		{"shards negative", []string{"audit", "-shards", "-1"}, "-shards must be at least 1"},
+		{"shards with federated data", []string{"-data", dir + "," + dir, "audit", "-shards", "2"}, "cannot be combined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.argv, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded", tc.argv)
+			}
+			if errors.Is(err, errUsage) {
+				t.Fatalf("run(%v) reported a usage error (exit 2), want a validation error (exit 1)", tc.argv)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// splitExportedLog rewrites an exported dataset as two shard directories:
+// every table is copied to both, except the Log, whose rows are split at
+// the given fraction — the multi-deployment layout -data dirA,dirB loads.
+func splitExportedLog(t *testing.T, exportDir string, frac float64) (string, string) {
+	t.Helper()
+	entries, err := os.ReadDir(exportDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := t.TempDir()
+	dirA := filepath.Join(base, "east")
+	dirB := filepath.Join(base, "west")
+	for _, dir := range []string{dirA, dirB} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(exportDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() != "Log.csv" {
+			for _, dir := range []string{dirA, dirB} {
+				if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			continue
+		}
+		lines := strings.SplitAfter(string(data), "\n")
+		if lines[len(lines)-1] == "" {
+			lines = lines[:len(lines)-1]
+		}
+		header, rows := lines[0], lines[1:]
+		cut := int(float64(len(rows)) * frac)
+		writeShard := func(dir string, shard []string) {
+			content := header + strings.Join(shard, "")
+			if err := os.WriteFile(filepath.Join(dir, "Log.csv"), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		writeShard(dirA, rows[:cut])
+		writeShard(dirB, rows[cut:])
+	}
+	return dirA, dirB
+}
+
+// TestFederatedStreamByteIdentical is the CLI-level federated differential:
+// the NDJSON emitted by audit -stream must be byte-identical across (a) the
+// single engine, (b) audit -shards K partitioning of the same log, and (c)
+// a multi-directory federation of the log split across two deployments.
+func TestFederatedStreamByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", dir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+
+	streamOut := func(argv ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if err := run(argv, &stdout, &stderr); err != nil {
+			t.Fatalf("run(%v): %v\nstderr: %s", argv, err, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	want := streamOut("-data", dir, "audit", "-stream")
+	if want == "" {
+		t.Fatal("single-engine stream is empty")
+	}
+	for _, k := range []string{"1", "2", "4"} {
+		if got := streamOut("-data", dir, "audit", "-stream", "-shards", k); got != want {
+			t.Errorf("audit -shards %s stream differs from the single-engine stream", k)
+		}
+	}
+
+	dirA, dirB := splitExportedLog(t, dir, 0.4)
+	if got := streamOut("-data", dirA+","+dirB, "audit", "-stream"); got != want {
+		t.Error("multi-directory federated stream differs from the single-engine stream")
+	}
+
+	// The materialized federated audit agrees on the headline numbers and
+	// reports per-shard internals under -v.
+	var fedOut, fedErr bytes.Buffer
+	if err := run([]string{"-data", dir, "audit", "-shards", "2", "-v"}, &fedOut, &fedErr); err != nil {
+		t.Fatalf("federated audit: %v", err)
+	}
+	for _, sub := range []string{"federated batch-audited", "across 2 shards", "plan cache (all shards)", "shard0:", "shard1:"} {
+		if !strings.Contains(fedOut.String(), sub) {
+			t.Errorf("federated audit output missing %q:\n%s", sub, fedOut.String())
+		}
+	}
+}
+
+// TestFederatedSubcommands smoke-tests the rest of the surface over a
+// multi-directory federation: summary, unexplained, mine, templates, and
+// patient answer over the merged log, while export is refused.
+func TestFederatedSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", dir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	dirA, dirB := splitExportedLog(t, dir, 0.5)
+	data := dirA + "," + dirB
+
+	runOK := func(argv ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if err := run(argv, &stdout, &stderr); err != nil {
+			t.Fatalf("run(%v): %v\nstderr: %s", argv, err, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	if out := runOK("-data", data, "summary"); !strings.Contains(out, "federation: 2 shards") ||
+		!strings.Contains(out, "east:") || !strings.Contains(out, "west:") {
+		t.Errorf("federated summary:\n%s", out)
+	}
+	if out := runOK("-data", data, "unexplained", "-n", "3"); !strings.Contains(out, "accesses unexplained") {
+		t.Errorf("federated unexplained:\n%s", out)
+	}
+	if out := runOK("-data", data, "mine", "-M", "3"); !strings.Contains(out, "mined") {
+		t.Errorf("federated mine:\n%s", out)
+	}
+	if out := runOK("-data", data, "templates"); !strings.Contains(out, "SELECT") {
+		t.Errorf("federated templates:\n%s", out)
+	}
+	if out := runOK("-data", data, "groups"); !strings.Contains(out, "collaborative groups") {
+		t.Errorf("federated groups:\n%s", out)
+	}
+
+	var exBuf bytes.Buffer
+	err := run([]string{"-data", data, "export", "-dir", t.TempDir()}, &exBuf, &exBuf)
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("federated export: %v", err)
+	}
+}

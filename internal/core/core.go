@@ -64,6 +64,10 @@ type Auditor struct {
 	ev    *query.Evaluator
 	namer explain.Namer
 
+	// auditedLog, when non-nil, is the table whose rows are audited in place
+	// of the database's Log (see WithAuditedLog).
+	auditedLog *relation.Table
+
 	templates []explain.Template
 
 	// mu guards masks. Stored mask slices are never mutated after being
@@ -82,18 +86,36 @@ func WithNamer(n explain.Namer) Option {
 	return func(a *Auditor) { a.namer = n }
 }
 
+// WithAuditedLog makes the auditor classify and report the rows of t instead
+// of the database's Log table, while path queries, the repeat-access history,
+// and self-joins still resolve against db's Log. This is the primitive behind
+// both the predictive-power protocol (audit test accesses against a
+// historical log) and shard-federated auditing: a federation shard audits its
+// slice of the partitioned log while every template sees the full merged log
+// as history, which is what makes per-shard reports identical to the
+// single-engine reports over the whole log. t must carry the Lid, Date, User,
+// and Patient columns.
+func WithAuditedLog(t *relation.Table) Option {
+	return func(a *Auditor) { a.auditedLog = t }
+}
+
 // NewAuditor creates an auditor over db, whose Log table is the audited
-// log, using graph as the join-edge catalog.
+// log (unless WithAuditedLog overrides it), using graph as the join-edge
+// catalog.
 func NewAuditor(db *relation.Database, graph *schemagraph.Graph, opts ...Option) *Auditor {
 	a := &Auditor{
 		db:    db,
 		graph: graph,
-		ev:    query.NewEvaluator(db),
 		namer: explain.NullNamer{},
 		masks: make(map[int][]bool),
 	}
 	for _, o := range opts {
 		o(a)
+	}
+	if a.auditedLog != nil {
+		a.ev = query.NewEvaluatorWithLog(db, a.auditedLog)
+	} else {
+		a.ev = query.NewEvaluator(db)
 	}
 	return a
 }
@@ -107,6 +129,16 @@ func (a *Auditor) Graph() *schemagraph.Graph { return a.graph }
 // Evaluator returns the query evaluator bound to the auditor's database,
 // for callers running custom path queries.
 func (a *Auditor) Evaluator() *query.Evaluator { return a.ev }
+
+// DefaultGroupsTable is the table name BuildGroups installs when
+// GroupsOptions.TableName is empty. Layers that rebuild the Groups table
+// themselves (the federation trains one over a merged log) use the same
+// name so their databases are interchangeable with BuildGroups output.
+const DefaultGroupsTable = "Groups"
+
+// DefaultGroupsMaxDepth is the hierarchy depth BuildGroups uses when
+// GroupsOptions.MaxDepth is unset (the paper found 8 levels).
+const DefaultGroupsMaxDepth = 8
 
 // GroupsOptions configures collaborative-group inference.
 type GroupsOptions struct {
@@ -128,13 +160,12 @@ func (a *Auditor) BuildGroups(opt GroupsOptions) *groups.Hierarchy {
 		trainLog = a.ev.Log()
 	}
 	if opt.MaxDepth <= 0 {
-		opt.MaxDepth = 8
+		opt.MaxDepth = DefaultGroupsMaxDepth
 	}
 	if opt.TableName == "" {
-		opt.TableName = "Groups"
+		opt.TableName = DefaultGroupsTable
 	}
-	g := groups.BuildUserGraph(trainLog)
-	h := groups.BuildHierarchy(g, opt.MaxDepth)
+	h := groups.Train(trainLog, opt.MaxDepth)
 	a.db.AddTable(h.Table(opt.TableName))
 	// Rebinding is unnecessary (the evaluator holds the same *Database), but
 	// cached masks may predate the table; clear them. The evaluator's plan

@@ -1,0 +1,572 @@
+// Package federate audits many access logs as one. A real hospital system
+// is not a single EHR deployment but a set of departmental or regional
+// installations, each with its own access log and metadata tables; the
+// compliance office still needs one answer — every access to a patient's
+// record, explained, in one chronology. A Federation owns one auditing
+// engine per shard (each a relation.Database + query.Evaluator +
+// core.Auditor with its own plan cache) and exposes the full audit surface
+// over the logical merged log:
+//
+//   - StreamReports / Reports fan out across the shards — each shard
+//     streaming its slice through the bounded core pipeline
+//     (parallel.OrderedChunks) — and re-interleave the shard streams into
+//     global log order with a k-way merge (parallel.MergeStreams), so the
+//     federated stream is byte-identical to a single engine auditing the
+//     concatenated log;
+//   - Support, ExplainedFraction, and UnexplainedAccesses aggregate
+//     shard-local results (support and explained counts are row counts, and
+//     the shards partition the rows, so sums are exact);
+//   - MineTemplates drives the miners through a cross-shard support oracle:
+//     candidate generation and admission run once, each candidate's exact
+//     support is evaluated per shard and summed, and estimates come from a
+//     coordinator view (the merged log over shard 0's metadata) — for a
+//     Split federation, and for a Join whose shards carry the same metadata
+//     tables, templates and statistics are identical to mining the merged
+//     log directly. Mining a Join of genuinely divergent metadata has no
+//     single-log equivalent to be identical to; see MineTemplates.
+//
+// What makes per-shard evaluation exact rather than approximate is the
+// audited-log split the core layer provides (core.WithAuditedLog): every
+// shard engine classifies only its own slice of the log, but its database
+// carries the full merged log, so history-sensitive templates (repeat
+// access, Log self-joins) and the collaborative-group hierarchy see the same
+// evidence a single merged engine would.
+//
+// Two constructors cover the two deployment shapes: Split partitions one
+// database's log by shard key (time ranges by default, or any explicit
+// assignment) into K shards sharing that database, and Join federates
+// separately loaded databases — each with its own metadata — under one
+// merged chronology.
+package federate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sort"
+
+	"repro/internal/accesslog"
+	"repro/internal/core"
+	"repro/internal/explain"
+	"repro/internal/groups"
+	"repro/internal/mine"
+	"repro/internal/parallel"
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/schemagraph"
+)
+
+// mergeBuffer bounds each shard stream's in-flight reports inside the k-way
+// merge (on top of the bounded reorder window each shard's own pipeline
+// already maintains): a few chunks per shard, independent of log size.
+const mergeBuffer = 256
+
+// shard is one member engine of a federation.
+type shard struct {
+	name    string
+	db      *relation.Database
+	audited *relation.Table
+	auditor *core.Auditor
+	// global maps each audited row index to its position in the merged log,
+	// strictly ascending — the merge key that restores global order.
+	global []int
+}
+
+// Federation audits N per-shard engines as one logical log. Construct it
+// with Split or Join, register templates with AddTemplates, then use the
+// audit surface. The concurrency contract matches core.Auditor:
+// configuration requires exclusive access, after which the batch surface
+// (StreamReports, Reports, ExplainAll, UnexplainedAccesses,
+// ExplainedFraction) may be used; the single-threaded members (Support,
+// PatientReport, MineTemplates) must not run concurrently with anything else
+// on the same Federation.
+type Federation struct {
+	graph  *schemagraph.Graph
+	namer  explain.Namer
+	shards []*shard
+	// merged is the logical log in global order: Split's source log, or the
+	// concatenation Join builds. Every shard database carries it as its Log
+	// table so history-sensitive templates see the full chronology.
+	merged *relation.Table
+	// estimEv is the coordinator's merged-log view used for mining
+	// estimates (and the support threshold), so federated skip decisions
+	// replay the single-engine ones exactly.
+	estimEv *query.Evaluator
+	// hier is the collaborative-group hierarchy trained on the merged log,
+	// or nil when the federation reused an existing Groups table (Split over
+	// an already-configured database) or was built WithoutGroups.
+	hier *groups.Hierarchy
+}
+
+// config collects construction options.
+type config struct {
+	namer    explain.Namer
+	names    []string
+	noGroups bool
+}
+
+// Option configures Split and Join.
+type Option func(*config)
+
+// WithNamer installs the display-name resolver handed to every shard
+// auditor. For the federated stream to be byte-identical to a single
+// engine's, both must use the same namer.
+func WithNamer(n explain.Namer) Option {
+	return func(c *config) { c.namer = n }
+}
+
+// WithShardNames overrides the default shard0..shardN-1 display names (for
+// example, the source directory names of a multi-directory load).
+func WithShardNames(names ...string) Option {
+	return func(c *config) { c.names = append([]string(nil), names...) }
+}
+
+// WithoutGroups skips collaborative-group inference. Use it when the
+// registered templates do not reference the Groups table and the clustering
+// cost is unwanted (benchmarks, group-free catalogs).
+func WithoutGroups() Option {
+	return func(c *config) { c.noGroups = true }
+}
+
+func checkLog(t *relation.Table, who string) error {
+	if t == nil {
+		return fmt.Errorf("federate: %s has no %s table", who, pathmodel.LogTable)
+	}
+	for _, col := range pathmodel.RequiredLogColumns() {
+		if !t.HasColumn(col) {
+			return fmt.Errorf("federate: %s log lacks required column %q", who, col)
+		}
+	}
+	return nil
+}
+
+func newConfig(opts []Option) *config {
+	c := &config{namer: explain.NullNamer{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *config) shardName(i int) string {
+	if i < len(c.names) && c.names[i] != "" {
+		return c.names[i]
+	}
+	return fmt.Sprintf("shard%d", i)
+}
+
+// TimeRanges returns the default shard key for Split: rows are assigned to k
+// contiguous, equal-width date buckets spanning the log's [min, max] date
+// range — the "one shard per period" layout a regional deployment rotates
+// through. Any assignment is equally correct (the audit surface is
+// assignment-invariant); this one keeps each shard a chronological run.
+func TimeRanges(log *relation.Table, k int) func(row int) int {
+	di, ok := log.ColumnIndex(pathmodel.LogDateColumn)
+	if !ok || log.NumRows() == 0 || k < 2 {
+		return func(int) int { return 0 }
+	}
+	min, max := log.Row(0)[di].AsInt(), log.Row(0)[di].AsInt()
+	for r := 1; r < log.NumRows(); r++ {
+		if d := log.Row(r)[di].AsInt(); d < min {
+			min = d
+		} else if d > max {
+			max = d
+		}
+	}
+	// Bucket proportionally in float space: date ranges as wide as the whole
+	// int64 domain (epoch-nanosecond logs) would overflow an integer
+	// (d-min)*k product, and bucket boundaries only need to be
+	// deterministic, not exact. The uint64 subtraction yields the true
+	// offset for any int64 pair with max >= min.
+	spanF := float64(uint64(max)-uint64(min)) + 1
+	return func(row int) int {
+		off := uint64(log.Row(row)[di].AsInt()) - uint64(min)
+		b := int(float64(off) / spanF * float64(k))
+		if b < 0 {
+			b = 0
+		}
+		if b >= k {
+			b = k - 1
+		}
+		return b
+	}
+}
+
+// Split partitions db's access log into k shards by the given assignment
+// (row index -> shard in [0, k); nil means TimeRanges) and returns a
+// federation of k engines sharing db. Each shard audits only its assigned
+// rows, while every query — template paths, repeat-access history, group
+// membership — resolves against the shared database and therefore sees the
+// full log, which is what makes the federated audit identical to a
+// single-engine audit of db. Unless WithoutGroups is given, a Groups table
+// is trained on the full log and installed if db does not already have one
+// (an existing table, such as one a prior core.Auditor.BuildGroups
+// installed, is reused as-is).
+func Split(db *relation.Database, graph *schemagraph.Graph, k int, assign func(row int) int, opts ...Option) (*Federation, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("federate: Split needs at least 1 shard, got %d", k)
+	}
+	log := db.Table(pathmodel.LogTable)
+	if err := checkLog(log, "database"); err != nil {
+		return nil, err
+	}
+	if assign == nil {
+		assign = TimeRanges(log, k)
+	}
+	rowsByShard := make([][]int, k)
+	for r := 0; r < log.NumRows(); r++ {
+		s := assign(r)
+		if s < 0 || s >= k {
+			return nil, fmt.Errorf("federate: assignment sent row %d to shard %d, want [0, %d)", r, s, k)
+		}
+		rowsByShard[s] = append(rowsByShard[s], r)
+	}
+
+	cfg := newConfig(opts)
+	f := &Federation{graph: graph, namer: cfg.namer, merged: log}
+	if !cfg.noGroups && !db.HasTable(core.DefaultGroupsTable) {
+		f.hier = buildGroups(log)
+		db.AddTable(f.hier.Table(core.DefaultGroupsTable))
+	}
+	for s := 0; s < k; s++ {
+		audited := log.Select(pathmodel.LogTable, rowsByShard[s])
+		f.shards = append(f.shards, &shard{
+			name:    cfg.shardName(s),
+			db:      db,
+			audited: audited,
+			auditor: core.NewAuditor(db, graph, core.WithAuditedLog(audited), core.WithNamer(cfg.namer)),
+			global:  rowsByShard[s],
+		})
+	}
+	f.estimEv = query.NewEvaluator(db)
+	return f, nil
+}
+
+// buildGroups trains the hierarchy through the same groups.Train pipeline
+// core.Auditor.BuildGroups uses, at the same default depth (and the call
+// sites install it under core.DefaultGroupsTable), so a federation-built
+// Groups table is identical to a single engine's.
+func buildGroups(log *relation.Table) *groups.Hierarchy {
+	return groups.Train(log, core.DefaultGroupsMaxDepth)
+}
+
+// Join federates separately constructed databases — one per deployment, each
+// with its own log and metadata tables — under a single merged chronology:
+// the shard logs are concatenated in input order into the logical log, which
+// replaces every shard database's Log table (so repeat-access history and
+// Log self-joins span deployments), while each shard's accesses are still
+// explained against that shard's own metadata. Unless WithoutGroups is
+// given, the collaborative-group hierarchy is trained on the merged log and
+// installed into every shard, replacing any loaded Groups table — group
+// membership, like history, is a property of the whole federation. All
+// shard logs must share an identical column layout.
+func Join(dbs []*relation.Database, graph *schemagraph.Graph, opts ...Option) (*Federation, error) {
+	if len(dbs) == 0 {
+		return nil, errors.New("federate: Join needs at least one database")
+	}
+	cfg := newConfig(opts)
+	logs := make([]*relation.Table, len(dbs))
+	for i, db := range dbs {
+		logs[i] = db.Table(pathmodel.LogTable)
+		if err := checkLog(logs[i], cfg.shardName(i)); err != nil {
+			return nil, err
+		}
+	}
+	merged, err := relation.Concat(pathmodel.LogTable, logs...)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Federation{graph: graph, namer: cfg.namer, merged: merged}
+	var groupsTable *relation.Table
+	if !cfg.noGroups {
+		f.hier = buildGroups(merged)
+		groupsTable = f.hier.Table(core.DefaultGroupsTable)
+	}
+	offset := 0
+	for i, db := range dbs {
+		shardDB := accesslog.WithLog(db, merged)
+		if groupsTable != nil {
+			shardDB.AddTable(groupsTable)
+		}
+		n := logs[i].NumRows()
+		global := make([]int, n)
+		for r := range global {
+			global[r] = offset + r
+		}
+		offset += n
+		f.shards = append(f.shards, &shard{
+			name:    cfg.shardName(i),
+			db:      shardDB,
+			audited: logs[i],
+			auditor: core.NewAuditor(shardDB, graph, core.WithAuditedLog(logs[i]), core.WithNamer(cfg.namer)),
+			global:  global,
+		})
+	}
+	f.estimEv = query.NewEvaluator(f.shards[0].db)
+	return f, nil
+}
+
+// NumShards returns the number of member engines.
+func (f *Federation) NumShards() int { return len(f.shards) }
+
+// Rows returns the merged log's row count.
+func (f *Federation) Rows() int { return f.merged.NumRows() }
+
+// MergedLog returns the logical log in global order.
+func (f *Federation) MergedLog() *relation.Table { return f.merged }
+
+// Hierarchy returns the collaborative-group hierarchy trained on the merged
+// log, or nil when the federation reused an existing Groups table or was
+// built WithoutGroups.
+func (f *Federation) Hierarchy() *groups.Hierarchy { return f.hier }
+
+// AddTemplates registers explanation templates on every shard engine.
+// Registration order is preserved shard-to-shard, which the report
+// differential depends on.
+func (f *Federation) AddTemplates(ts ...explain.Template) {
+	for _, sh := range f.shards {
+		sh.auditor.AddTemplates(ts...)
+	}
+}
+
+// Templates returns the registered templates (identical on every shard).
+func (f *Federation) Templates() []explain.Template {
+	return f.shards[0].auditor.Templates()
+}
+
+// perShardWorkers divides a total worker budget across the shards, at least
+// one each (non-positive means GOMAXPROCS, matching the core engine). The
+// remainder goes to the leading shards so an uneven division still uses the
+// whole budget; worker counts never affect the merged stream's content.
+// Every shard pipeline must run for the k-way merge to make progress, so a
+// federation of more shards than the budget runs one worker per shard —
+// effective parallelism is max(parallelism, NumShards), which StreamReports
+// documents for callers bounding CPU.
+func (f *Federation) perShardWorkers(parallelism int) []int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	k := len(f.shards)
+	per := make([]int, k)
+	for i := range per {
+		per[i] = parallelism / k
+		if i < parallelism%k {
+			per[i]++
+		}
+		if per[i] < 1 {
+			per[i] = 1
+		}
+	}
+	return per
+}
+
+// streamItem carries one shard report together with its merge key.
+type streamItem struct {
+	global int
+	rep    core.AccessReport
+}
+
+// StreamReports builds the report for every row of the merged log and hands
+// the reports to fn one at a time in global log order — exactly the stream a
+// single core.Auditor over the merged log produces (the federated
+// differential tests pin the two together byte for byte). Each shard runs
+// its own bounded streaming pipeline over its slice with a share of the
+// worker budget, and the shard streams are re-interleaved through a bounded
+// k-way merge, so peak buffering stays a few chunks per worker plus a few
+// hundred reports per shard regardless of log size.
+//
+// fn runs on the calling goroutine, never concurrently with itself. If fn
+// returns an error the stream aborts with it; if ctx is cancelled mid-run
+// the shard pipelines stop promptly and StreamReports returns ctx.Err(). In
+// both cases fn has seen a clean prefix of the merged stream.
+//
+// The worker budget is divided across the shards, but every shard pipeline
+// must run concurrently for the merge to make progress, so the effective
+// worker count is max(parallelism, NumShards) — a federation cannot be
+// throttled below one worker per shard.
+func (f *Federation) StreamReports(ctx context.Context, parallelism int, fn func(core.AccessReport) error) error {
+	per := f.perShardWorkers(parallelism)
+	sources := make([]func(push func(streamItem) error) error, len(f.shards))
+	for i, sh := range f.shards {
+		sources[i] = func(push func(streamItem) error) error {
+			next := 0
+			return sh.auditor.StreamReports(ctx, per[i], func(rep core.AccessReport) error {
+				g := sh.global[next]
+				next++
+				return push(streamItem{global: g, rep: rep})
+			})
+		}
+	}
+	return parallel.MergeStreams(mergeBuffer,
+		func(a, b streamItem) bool { return a.global < b.global },
+		func(it streamItem) error { return fn(it.rep) },
+		sources...)
+}
+
+// errStopStream unwinds StreamReports when a Reports consumer breaks early.
+var errStopStream = errors.New("federate: report stream stopped by consumer")
+
+// Reports is the iterator form of StreamReports: it ranges over every merged
+// log row's report in global order. A non-nil error (cancellation, or an
+// internal failure) is yielded as the final pair with a zero AccessReport;
+// breaking out of the loop tears the shard pipelines down cleanly.
+func (f *Federation) Reports(ctx context.Context, parallelism int) iter.Seq2[core.AccessReport, error] {
+	return func(yield func(core.AccessReport, error) bool) {
+		err := f.StreamReports(ctx, parallelism, func(rep core.AccessReport) error {
+			if !yield(rep, nil) {
+				return errStopStream
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStopStream) {
+			yield(core.AccessReport{}, err)
+		}
+	}
+}
+
+// ExplainAll materializes the federated stream into one slice in global log
+// order. It returns nil if ctx is cancelled before the audit completes; it
+// never returns a partially filled slice.
+func (f *Federation) ExplainAll(ctx context.Context, parallelism int) []core.AccessReport {
+	out := make([]core.AccessReport, 0, f.merged.NumRows())
+	if err := f.StreamReports(ctx, parallelism, func(rep core.AccessReport) error {
+		out = append(out, rep)
+		return nil
+	}); err != nil {
+		return nil
+	}
+	return out
+}
+
+// Support returns the path's support over the merged log: the sum of the
+// shard-local supports. Support counts audited rows and the shards partition
+// them, so the sum is exact, not an estimate.
+func (f *Federation) Support(p pathmodel.Path) int {
+	total := 0
+	for _, sh := range f.shards {
+		total += sh.auditor.Evaluator().Prepare(p).Support()
+	}
+	return total
+}
+
+// UnexplainedAccesses returns the merged-log row indexes no registered
+// template explains, ascending — the shard-local shortlists mapped through
+// each shard's global row mapping. It returns nil if ctx is cancelled first.
+func (f *Federation) UnexplainedAccesses(ctx context.Context, parallelism int) []int {
+	var out []int
+	for _, sh := range f.shards {
+		rows := sh.auditor.UnexplainedAccessesParallel(ctx, parallelism)
+		if ctx.Err() != nil {
+			return nil
+		}
+		for _, r := range rows {
+			out = append(out, sh.global[r])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ExplainedFraction returns the fraction of merged-log rows explained by the
+// registered templates, aggregated from exact shard-local explained counts —
+// bit-identical to the single-engine fraction, because both divide the same
+// integers. An empty federation (or a cancelled ctx) yields 0, never NaN.
+func (f *Federation) ExplainedFraction(ctx context.Context, parallelism int) float64 {
+	total := f.merged.NumRows()
+	if total == 0 {
+		return 0
+	}
+	unexplained := 0
+	for _, sh := range f.shards {
+		rows := sh.auditor.UnexplainedAccessesParallel(ctx, parallelism)
+		if ctx.Err() != nil {
+			return 0
+		}
+		unexplained += len(rows)
+	}
+	return float64(total-unexplained) / float64(total)
+}
+
+// PatientReport is the federated user-centric view: every access to one
+// patient's record across all shards, in global log order, each with its
+// explanations. Shard lookups go through each shard's per-patient hash
+// index, so the cost is O(accesses to that patient) plus rendering.
+func (f *Federation) PatientReport(patient relation.Value, maxPerTemplate int) []core.AccessReport {
+	type entry struct {
+		global int
+		rep    core.AccessReport
+	}
+	var entries []entry
+	for _, sh := range f.shards {
+		for _, r := range sh.audited.Index(pathmodel.LogPatientColumn)[patient] {
+			entries = append(entries, entry{sh.global[r], sh.auditor.ExplainRow(r, maxPerTemplate)})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].global < entries[j].global })
+	out := make([]core.AccessReport, len(entries))
+	for i, e := range entries {
+		out[i] = e.rep
+	}
+	return out
+}
+
+// MineTemplates runs the named mining algorithm over the federation as if
+// the shards were one merged log: candidate generation and admission run
+// once on the coordinator, every candidate's exact support is evaluated
+// per shard and summed (see Oracle), and optimizer estimates come from the
+// coordinator's view — the merged log over shard 0's metadata — so the skip
+// decisions, and therefore the mined templates and every statistics
+// counter, replay a single-engine run exactly whenever the shards agree on
+// metadata: always for Split (one shared database), and for Join when every
+// deployment carries the schema-graph tables with the same content.
+// Mining requires every shard to provide the tables the schema graph
+// references, the same requirement a single engine has; a Join of genuinely
+// divergent metadata still mines (supports are exact per shard), but its
+// estimates are only as representative as shard 0's tables, and there is no
+// single merged database for the result to be compared against.
+func (f *Federation) MineTemplates(algo string, opt mine.Options) (mine.Result, error) {
+	return mine.RunWith(algo, f.Oracle(), f.graph, opt)
+}
+
+// Summary returns a one-paragraph description of the federation for CLI
+// display.
+func (f *Federation) Summary() string {
+	return fmt.Sprintf("federation: %d shards, %d merged log rows, %d distinct patients, %d distinct users, %d templates",
+		len(f.shards), f.merged.NumRows(),
+		f.merged.NumDistinct(pathmodel.LogPatientColumn),
+		f.merged.NumDistinct(pathmodel.LogUserColumn),
+		len(f.Templates()))
+}
+
+// ShardInfo is one shard's display state: its name, audited row count, and
+// engine-level plan-cache counters.
+type ShardInfo struct {
+	Name  string
+	Rows  int
+	Stats query.PlanCacheStats
+}
+
+// ShardInfos returns per-shard display state in shard order.
+func (f *Federation) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, len(f.shards))
+	for i, sh := range f.shards {
+		out[i] = ShardInfo{Name: sh.name, Rows: sh.audited.NumRows(), Stats: sh.auditor.Evaluator().PlanCacheStats()}
+	}
+	return out
+}
+
+// PlanCacheStats aggregates the plan-cache counters of every shard engine
+// (the coordinator's estimate-only evaluator holds no plans and is
+// excluded). ReachCap is -1 if the shards are configured with differing
+// caps; see query.PlanCacheStats.Add.
+func (f *Federation) PlanCacheStats() query.PlanCacheStats {
+	agg := f.shards[0].auditor.Evaluator().PlanCacheStats()
+	for _, sh := range f.shards[1:] {
+		agg = agg.Add(sh.auditor.Evaluator().PlanCacheStats())
+	}
+	return agg
+}

@@ -1,0 +1,354 @@
+package federate_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/accesslog"
+	"repro/internal/core"
+	"repro/internal/ehr"
+	"repro/internal/explain"
+	"repro/internal/federate"
+	"repro/internal/mine"
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/schemagraph"
+)
+
+func graph() *schemagraph.Graph { return ehr.SchemaGraph(ehr.DefaultGraphOptions()) }
+
+// singleEngine builds the reference: one fully configured auditor (groups
+// plus the complete hand-crafted catalog) over a Tiny hospital generated
+// with the given seed.
+func singleEngine(t testing.TB, seed int64) (*ehr.Dataset, *core.Auditor) {
+	t.Helper()
+	cfg := ehr.Tiny()
+	cfg.Seed = seed
+	ds := ehr.Generate(cfg)
+	a := core.NewAuditor(ds.DB, graph(), core.WithNamer(ds))
+	a.BuildGroups(core.GroupsOptions{})
+	a.AddTemplates(explain.Handcrafted(true, true).All()...)
+	return ds, a
+}
+
+// splitFederation federates the single engine's database into k shards with
+// the same namer and templates, reusing its Groups table.
+func splitFederation(t testing.TB, ds *ehr.Dataset, k int, assign func(row int) int) *federate.Federation {
+	t.Helper()
+	f, err := federate.Split(ds.DB, graph(), k, assign, federate.WithNamer(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.AddTemplates(explain.Handcrafted(true, true).All()...)
+	return f
+}
+
+// TestFederatedStreamMatchesSingleEngine is the tentpole differential: for
+// K in {1, 2, 4} shards of a partitioned log, across three dataset seeds,
+// the federated report stream must be identical — report for report, field
+// for field — to the single-engine stream over the whole log, at several
+// worker budgets. Both time-range and round-robin partitions are exercised,
+// because the audit surface must be assignment-invariant.
+func TestFederatedStreamMatchesSingleEngine(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3} {
+		ds, single := singleEngine(t, seed)
+		want := single.ExplainAll(ctx, 4)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: empty single-engine audit", seed)
+		}
+		for _, k := range []int{1, 2, 4} {
+			assigns := map[string]func(row int) int{
+				"time-range":  nil,
+				"round-robin": func(row int) int { return row % k },
+			}
+			for name, assign := range assigns {
+				f := splitFederation(t, ds, k, assign)
+				if f.Rows() != len(want) {
+					t.Fatalf("seed %d k=%d %s: federation covers %d rows, want %d", seed, k, name, f.Rows(), len(want))
+				}
+				for _, par := range []int{1, 4, 8} {
+					got := f.ExplainAll(ctx, par)
+					if len(got) != len(want) {
+						t.Fatalf("seed %d k=%d %s j=%d: %d reports, want %d", seed, k, name, par, len(got), len(want))
+					}
+					for r := range want {
+						if !reflect.DeepEqual(got[r], want[r]) {
+							t.Fatalf("seed %d k=%d %s j=%d: report %d differs:\n got %+v\nwant %+v",
+								seed, k, name, par, r, got[r], want[r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFederatedJoinMatchesSingleEngine covers the multi-database shape: two
+// separately assembled databases (each holding a contiguous slice of the
+// log and the shared metadata) joined into a federation must audit exactly
+// like a single engine over the whole log — including the repeat-access
+// history and collaborative groups spanning both shards.
+func TestFederatedJoinMatchesSingleEngine(t *testing.T) {
+	ctx := context.Background()
+	ds, single := singleEngine(t, 2)
+	want := single.ExplainAll(ctx, 4)
+
+	log := ds.Log()
+	cut := log.NumRows() / 3
+	rowsA := make([]int, 0, cut)
+	rowsB := make([]int, 0, log.NumRows()-cut)
+	for r := 0; r < log.NumRows(); r++ {
+		if r < cut {
+			rowsA = append(rowsA, r)
+		} else {
+			rowsB = append(rowsB, r)
+		}
+	}
+	dbA := accesslog.WithLog(ds.DB, log.Select(pathmodel.LogTable, rowsA))
+	dbB := accesslog.WithLog(ds.DB, log.Select(pathmodel.LogTable, rowsB))
+
+	f, err := federate.Join([]*relation.Database{dbA, dbB}, graph(),
+		federate.WithNamer(ds), federate.WithShardNames("east", "west"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.AddTemplates(explain.Handcrafted(true, true).All()...)
+	if f.Hierarchy() == nil {
+		t.Error("Join did not train a merged-log hierarchy")
+	}
+
+	got := f.ExplainAll(ctx, 4)
+	if !reflect.DeepEqual(got, want) {
+		for r := range want {
+			if r < len(got) && !reflect.DeepEqual(got[r], want[r]) {
+				t.Fatalf("joined report %d differs:\n got %+v\nwant %+v", r, got[r], want[r])
+			}
+		}
+		t.Fatalf("joined audit produced %d reports, want %d", len(got), len(want))
+	}
+
+	infos := f.ShardInfos()
+	if len(infos) != 2 || infos[0].Name != "east" || infos[1].Name != "west" {
+		t.Errorf("shard infos: %+v", infos)
+	}
+	if infos[0].Rows != cut || infos[1].Rows != log.NumRows()-cut {
+		t.Errorf("shard rows: %+v", infos)
+	}
+}
+
+// TestFederatedAggregates pins the aggregated surface — Support,
+// ExplainedFraction, UnexplainedAccesses, PatientReport — to the
+// single-engine results, including exact float equality for the fraction
+// (both sides divide the same integers).
+func TestFederatedAggregates(t *testing.T) {
+	ctx := context.Background()
+	ds, single := singleEngine(t, 3)
+	f := splitFederation(t, ds, 4, nil)
+
+	wantUnexplained := single.UnexplainedAccessesParallel(ctx, 4)
+	gotUnexplained := f.UnexplainedAccesses(ctx, 4)
+	if !reflect.DeepEqual(gotUnexplained, wantUnexplained) {
+		t.Errorf("unexplained rows differ: %d federated vs %d single", len(gotUnexplained), len(wantUnexplained))
+	}
+
+	if got, want := f.ExplainedFraction(ctx, 4), single.ExplainedFractionParallel(ctx, 4); got != want {
+		t.Errorf("explained fraction %v, want %v", got, want)
+	}
+
+	ev := query.NewEvaluator(ds.DB)
+	for _, tpl := range []*explain.PathTemplate{
+		explain.WithDrTemplate("appt-with-dr", "Appointments", "an appointment"),
+		explain.GroupTemplate("appt-same-group", "Appointments", "an appointment"),
+	} {
+		if got, want := f.Support(tpl.Path), ev.Support(tpl.Path); got != want {
+			t.Errorf("%s: federated support %d, want %d", tpl.Name(), got, want)
+		}
+	}
+
+	log := ds.Log()
+	patients := log.DistinctValues(pathmodel.LogPatientColumn)
+	for _, pv := range patients[:min(5, len(patients))] {
+		got := f.PatientReport(pv, 1)
+		want := single.PatientReport(pv, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("patient %v: federated report differs", pv)
+		}
+	}
+
+	if stats := f.PlanCacheStats(); stats.Misses == 0 {
+		t.Error("aggregated plan-cache stats show no compilations after a full audit")
+	}
+}
+
+// TestFederatedMiningMatchesSingleLog checks that mining over the
+// federation produces exactly the templates and statistics of mining the
+// merged log on one engine, for every algorithm and at several worker
+// budgets.
+func TestFederatedMiningMatchesSingleLog(t *testing.T) {
+	ds, _ := singleEngine(t, 1)
+	f := splitFederation(t, ds, 3, nil)
+
+	opt := mine.DefaultOptions()
+	opt.MaxLength = 3
+	for _, algo := range []string{mine.AlgoOneWay, mine.AlgoTwoWay, mine.AlgoBridge(2)} {
+		want, err := mine.Run(algo, query.NewEvaluator(ds.DB), graph(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 4} {
+			fopt := opt
+			fopt.Parallelism = par
+			got, err := f.MineTemplates(algo, fopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Templates, want.Templates) {
+				t.Errorf("%s j=%d: mined %d templates, want %d", algo, par, len(got.Templates), len(want.Templates))
+			}
+			if got.Stats.CandidatesGenerated != want.Stats.CandidatesGenerated ||
+				got.Stats.SupportQueries != want.Stats.SupportQueries ||
+				got.Stats.CacheHits != want.Stats.CacheHits ||
+				got.Stats.Skipped != want.Stats.Skipped {
+				t.Errorf("%s j=%d: stats differ:\n got %+v\nwant %+v", algo, par, got.Stats, want.Stats)
+			}
+			if !reflect.DeepEqual(got.Stats.TemplatesByLength, want.Stats.TemplatesByLength) {
+				t.Errorf("%s j=%d: templates-by-length differ", algo, par)
+			}
+		}
+	}
+}
+
+// TestFederatedCancellation checks that a cancelled context stops the
+// federated stream promptly with ctx.Err() and nils the aggregate results,
+// mirroring the core engine's contract.
+func TestFederatedCancellation(t *testing.T) {
+	ds, _ := singleEngine(t, 1)
+	f := splitFederation(t, ds, 2, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	err := f.StreamReports(ctx, 4, func(core.AccessReport) error {
+		seen++
+		if seen == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("StreamReports after cancel = %v, want context.Canceled", err)
+	}
+	if seen >= f.Rows() {
+		t.Errorf("cancelled stream still saw all %d reports", seen)
+	}
+
+	cancelled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if got := f.ExplainAll(cancelled, 4); got != nil {
+		t.Errorf("ExplainAll on cancelled ctx returned %d reports", len(got))
+	}
+	if got := f.UnexplainedAccesses(cancelled, 4); got != nil {
+		t.Error("UnexplainedAccesses on cancelled ctx returned rows")
+	}
+	if got := f.ExplainedFraction(cancelled, 4); got != 0 {
+		t.Errorf("ExplainedFraction on cancelled ctx = %v", got)
+	}
+}
+
+// TestFederatedReportsIterator checks the iterator form: full iteration
+// matches StreamReports, a consumer error surfaces, and an early break
+// tears down cleanly without yielding an error.
+func TestFederatedReportsIterator(t *testing.T) {
+	ctx := context.Background()
+	ds, _ := singleEngine(t, 1)
+	f := splitFederation(t, ds, 2, nil)
+	want := f.ExplainAll(ctx, 4)
+
+	var got []core.AccessReport
+	for rep, err := range f.Reports(ctx, 4) {
+		if err != nil {
+			t.Fatalf("iterator error: %v", err)
+		}
+		got = append(got, rep)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("iterator reports differ from materialized reports")
+	}
+
+	seen := 0
+	for _, err := range f.Reports(ctx, 4) {
+		if err != nil {
+			t.Fatalf("error during early break: %v", err)
+		}
+		seen++
+		if seen == 2 {
+			break
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("early break saw %d reports", seen)
+	}
+}
+
+// TestSplitValidation pins the construction errors: a bad shard count, an
+// out-of-range assignment, a database without a log.
+func TestSplitValidation(t *testing.T) {
+	ds, _ := singleEngine(t, 1)
+	if _, err := federate.Split(ds.DB, graph(), 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := federate.Split(ds.DB, graph(), 2, func(int) int { return 7 }); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	if _, err := federate.Join(nil, graph()); err == nil {
+		t.Error("empty Join accepted")
+	}
+	empty := relation.NewDatabase()
+	if _, err := federate.Split(empty, graph(), 2, nil); err == nil {
+		t.Error("logless database accepted")
+	}
+	if _, err := federate.Join([]*relation.Database{empty}, graph()); err == nil {
+		t.Error("logless Join member accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestTimeRangesExtremeDates pins the default shard key against date ranges
+// as wide as the int64 domain (epoch-nanosecond logs): every row must land
+// in [0, k), with buckets non-decreasing in date — no integer overflow into
+// negative shard indexes.
+func TestTimeRangesExtremeDates(t *testing.T) {
+	log := relation.NewTable(pathmodel.LogTable, "Lid", "Date", "User", "Patient")
+	dates := []int64{math.MinInt64, math.MinInt64 + 1, math.MinInt64 / 2, -1, 0, 1,
+		math.MaxInt64 / 2, math.MaxInt64 - 1, math.MaxInt64}
+	for i, d := range dates {
+		log.Append(relation.Int(int64(i)), relation.Date(int(d)), relation.Int(1), relation.Int(1))
+	}
+	for _, k := range []int{1, 2, 4, 7} {
+		assign := federate.TimeRanges(log, k)
+		prev := 0
+		for r := range dates {
+			b := assign(r)
+			if b < 0 || b >= k {
+				t.Fatalf("k=%d: date %d assigned to shard %d, want [0, %d)", k, dates[r], b, k)
+			}
+			if b < prev {
+				t.Errorf("k=%d: bucket decreased from %d to %d at date %d", k, prev, b, dates[r])
+			}
+			prev = b
+		}
+		if first, last := assign(0), assign(len(dates)-1); k > 1 && first == last {
+			t.Errorf("k=%d: extreme dates collapsed into one bucket %d", k, first)
+		}
+	}
+}

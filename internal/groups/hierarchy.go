@@ -138,3 +138,12 @@ func (h *Hierarchy) TableAtDepth(name string, depth int) *relation.Table {
 	}
 	return t
 }
+
+// Train is the packaged training pipeline — build the collaboration graph
+// from an access log, then cluster it into a hierarchy of at most maxDepth
+// levels. core.Auditor.BuildGroups and the federation's merged-log group
+// construction both go through this one function, which is what keeps a
+// federated Groups table identical to a single engine's.
+func Train(log *relation.Table, maxDepth int) *Hierarchy {
+	return BuildHierarchy(BuildUserGraph(log), maxDepth)
+}

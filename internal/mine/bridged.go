@@ -18,10 +18,15 @@ import (
 // schema, which is where the candidate space grows exponentially — the
 // trade-off Figure 13 quantifies. bridgeLen must be at least 2.
 func Bridged(ev *query.Evaluator, g *schemagraph.Graph, opt Options, bridgeLen int) Result {
+	return BridgedWith(EvaluatorOracle(ev), g, opt, bridgeLen)
+}
+
+// BridgedWith is Bridged against an arbitrary support oracle.
+func BridgedWith(o Oracle, g *schemagraph.Graph, opt Options, bridgeLen int) Result {
 	if bridgeLen < 2 {
 		panic("mine: Bridged requires bridgeLen >= 2")
 	}
-	m := newMiner(ev, g, opt)
+	m := newMiner(o, g, opt)
 	l := bridgeLen
 	if l > opt.MaxLength {
 		l = opt.MaxLength
@@ -167,15 +172,22 @@ func AlgoBridge(l int) string { return fmt.Sprintf("bridge-%d", l) }
 // Run dispatches a mining run by algorithm name: "one-way", "two-way", or
 // "bridge-N".
 func Run(algo string, ev *query.Evaluator, g *schemagraph.Graph, opt Options) (Result, error) {
+	return RunWith(algo, EvaluatorOracle(ev), g, opt)
+}
+
+// RunWith dispatches a mining run by algorithm name against an arbitrary
+// support oracle; the federated auditing layer passes its cross-shard
+// summing oracle here.
+func RunWith(algo string, o Oracle, g *schemagraph.Graph, opt Options) (Result, error) {
 	switch algo {
 	case AlgoOneWay:
-		return OneWay(ev, g, opt), nil
+		return OneWayWith(o, g, opt), nil
 	case AlgoTwoWay:
-		return TwoWay(ev, g, opt), nil
+		return TwoWayWith(o, g, opt), nil
 	}
 	var l int
 	if _, err := fmt.Sscanf(algo, "bridge-%d", &l); err == nil && l >= 2 {
-		return Bridged(ev, g, opt, l), nil
+		return BridgedWith(o, g, opt, l), nil
 	}
 	return Result{}, fmt.Errorf("mine: unknown algorithm %q", algo)
 }

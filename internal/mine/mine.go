@@ -100,9 +100,69 @@ type Result struct {
 	Stats     Stats
 }
 
+// Oracle is the support substrate a mining run consults: the audited log's
+// cardinality (the denominator of the support threshold), the optimizer-style
+// estimates behind the skip-non-selective optimization, and exact support
+// evaluation for batches of candidate paths. The standard implementation
+// wraps one query.Evaluator (EvaluatorOracle); a federation implements it by
+// evaluating each candidate on every shard and summing the shard-local
+// supports, which — because support counts rows and shards partition the
+// rows — makes federated mining produce exactly the templates and statistics
+// of mining the merged log.
+type Oracle interface {
+	// AuditedRows returns the number of audited log rows.
+	AuditedRows() int
+	// EstimateSupport returns a cheap optimizer-style support estimate; see
+	// query.Evaluator.EstimateSupport.
+	EstimateSupport(p pathmodel.Path) int
+	// EvalSupports returns the exact support of each path, evaluated with up
+	// to workers concurrent evaluations. Result order matches input order.
+	EvalSupports(paths []pathmodel.Path, workers int) []int
+}
+
+// evaluatorOracle adapts a single evaluator cursor to the Oracle interface.
+type evaluatorOracle struct {
+	ev *query.Evaluator
+}
+
+// EvaluatorOracle wraps a query evaluator as the single-log mining oracle.
+func EvaluatorOracle(ev *query.Evaluator) Oracle { return evaluatorOracle{ev} }
+
+// AuditedRows implements Oracle.
+func (o evaluatorOracle) AuditedRows() int { return o.ev.Log().NumRows() }
+
+// EstimateSupport implements Oracle.
+func (o evaluatorOracle) EstimateSupport(p pathmodel.Path) int { return o.ev.EstimateSupport(p) }
+
+// EvalSupports implements Oracle. Each path is prepared through the engine's
+// shared plan cache, so a condition set reached again at a later level (or by
+// a sibling worker) never recompiles. A single worker evaluates on the
+// wrapped cursor itself (keeping its query counters exact); a pool gets
+// per-worker clones.
+func (o evaluatorOracle) EvalSupports(paths []pathmodel.Path, workers int) []int {
+	out := make([]int, len(paths))
+	if len(paths) == 0 {
+		return out
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	cursors := []*query.Evaluator{o.ev}
+	if workers > 1 {
+		cursors = make([]*query.Evaluator, workers)
+		for w := range cursors {
+			cursors[w] = o.ev.Clone()
+		}
+	}
+	parallel.ForEach(workers, len(paths), nil, func(w, k int) {
+		out[k] = cursors[w].Prepare(paths[k]).Support()
+	})
+	return out
+}
+
 // miner carries shared state across one run.
 type miner struct {
-	ev      *query.Evaluator
+	oracle  Oracle
 	graph   *schemagraph.Graph
 	opt     Options
 	minSupp int
@@ -117,14 +177,14 @@ type miner struct {
 	lastMark time.Duration
 }
 
-func newMiner(ev *query.Evaluator, g *schemagraph.Graph, opt Options) *miner {
-	n := ev.Log().NumRows()
+func newMiner(o Oracle, g *schemagraph.Graph, opt Options) *miner {
+	n := o.AuditedRows()
 	minSupp := int(float64(n)*opt.SupportFraction + 0.999999)
 	if minSupp < 1 {
 		minSupp = 1
 	}
 	return &miner{
-		ev: ev, graph: g, opt: opt, minSupp: minSupp,
+		oracle: o, graph: g, opt: opt, minSupp: minSupp,
 		cache: make(map[string]int),
 		found: make(map[string]pathmodel.Path),
 		stats: Stats{
@@ -175,7 +235,7 @@ func (m *miner) admitBatch(cands []pathmodel.Path) []pathmodel.Path {
 			continue
 		}
 		if !p.Closed() && m.opt.SkipNonSelective {
-			est := m.ev.EstimateSupport(p)
+			est := m.oracle.EstimateSupport(p)
 			if float64(est) > float64(m.minSupp)*m.opt.SkipConstant {
 				m.stats.Skipped++
 				state[i] = skipped
@@ -261,32 +321,18 @@ func (m *miner) resolveSupports(cands []pathmodel.Path, state, support []int, pe
 	}
 }
 
-// evalSupports evaluates the exact support of cands[i] for each i in toEval,
-// in parallel when the batch and the worker budget allow it. Every path is
-// prepared through the engine's shared plan cache, so a condition set
-// reached again at a later level (or by a sibling worker) never recompiles.
+// evalSupports evaluates the exact support of cands[i] for each i in toEval
+// through the oracle, in parallel when the batch and the worker budget allow
+// it.
 func (m *miner) evalSupports(cands []pathmodel.Path, toEval []int) []int {
-	out := make([]int, len(toEval))
 	if len(toEval) == 0 {
-		return out
+		return nil
 	}
-	workers := m.workers()
-	if workers > len(toEval) {
-		workers = len(toEval)
+	paths := make([]pathmodel.Path, len(toEval))
+	for k, i := range toEval {
+		paths[k] = cands[i]
 	}
-	// A single worker evaluates on the miner's own cursor (keeping its query
-	// counters exact); a pool gets per-worker clones.
-	cursors := []*query.Evaluator{m.ev}
-	if workers > 1 {
-		cursors = make([]*query.Evaluator, workers)
-		for w := range cursors {
-			cursors[w] = m.ev.Clone()
-		}
-	}
-	parallel.ForEach(workers, len(toEval), nil, func(w, k int) {
-		out[k] = cursors[w].Prepare(cands[toEval[k]]).Support()
-	})
-	return out
+	return m.oracle.EvalSupports(paths, m.workers())
 }
 
 func (m *miner) recordExplanation(p pathmodel.Path) {
@@ -385,7 +431,13 @@ func (m *miner) initialPaths(startCol string) []pathmodel.Path {
 
 // OneWay runs Algorithm 1: bottom-up expansion from Log.Patient only.
 func OneWay(ev *query.Evaluator, g *schemagraph.Graph, opt Options) Result {
-	m := newMiner(ev, g, opt)
+	return OneWayWith(EvaluatorOracle(ev), g, opt)
+}
+
+// OneWayWith runs Algorithm 1 against an arbitrary support oracle (a single
+// evaluator, or a federation of shard engines).
+func OneWayWith(o Oracle, g *schemagraph.Graph, opt Options) Result {
+	m := newMiner(o, g, opt)
 	frontier := m.initialPaths(pathmodel.LogPatientColumn)
 	m.markLength(1)
 	for length := 2; length <= opt.MaxLength; length++ {
@@ -401,7 +453,12 @@ func OneWay(ev *query.Evaluator, g *schemagraph.Graph, opt Options) Result {
 // which Figure 13 measures. The backward frontier contributes the suffix
 // paths that Bridged reuses.
 func TwoWay(ev *query.Evaluator, g *schemagraph.Graph, opt Options) Result {
-	m := newMiner(ev, g, opt)
+	return TwoWayWith(EvaluatorOracle(ev), g, opt)
+}
+
+// TwoWayWith is TwoWay against an arbitrary support oracle.
+func TwoWayWith(o Oracle, g *schemagraph.Graph, opt Options) Result {
+	m := newMiner(o, g, opt)
 	fwd := m.initialPaths(pathmodel.LogPatientColumn)
 	bwd := m.initialPaths(pathmodel.LogUserColumn)
 	m.markLength(1)

@@ -1,0 +1,172 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+// intSource builds a source that pushes the given values in order.
+func intSource(vals []int) func(push func(int) error) error {
+	return func(push func(int) error) error {
+		for _, v := range vals {
+			if err := push(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func intLess(a, b int) bool { return a < b }
+
+func TestMergeStreamsInterleavesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(5)
+		streams := make([][]int, k)
+		var want []int
+		for v := 0; v < 100; v++ {
+			s := rng.Intn(k)
+			streams[s] = append(streams[s], v)
+			want = append(want, v)
+		}
+		var sources []func(push func(int) error) error
+		for _, s := range streams {
+			sources = append(sources, intSource(s))
+		}
+		var got []int
+		if err := MergeStreams(4, intLess, func(v int) error {
+			got = append(got, v)
+			return nil
+		}, sources...); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: merged %d items, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: item %d = %d, want %d", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeStreamsEmptyCases(t *testing.T) {
+	if err := MergeStreams(1, intLess, func(int) error { return nil }); err != nil {
+		t.Fatalf("zero sources: %v", err)
+	}
+	var got []int
+	err := MergeStreams(1, intLess, func(v int) error { got = append(got, v); return nil },
+		intSource(nil), intSource([]int{1, 2}), intSource(nil))
+	if err != nil || !sort.IntsAreSorted(got) || len(got) != 2 {
+		t.Fatalf("empty sources: err=%v got=%v", err, got)
+	}
+}
+
+func TestMergeStreamsTiesBreakByLowestSource(t *testing.T) {
+	type item struct{ v, src int }
+	a := func(push func(item) error) error { return push(item{1, 0}) }
+	b := func(push func(item) error) error { return push(item{1, 1}) }
+	var got []item
+	err := MergeStreams(1, func(x, y item) bool { return x.v < y.v },
+		func(it item) error { got = append(got, it); return nil }, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].src != 0 || got[1].src != 1 {
+		t.Fatalf("tie order: %v", got)
+	}
+}
+
+// TestMergeStreamsEmitError checks that an emit error tears the merge down:
+// blocked producers unwind through the stop sentinel and the emit error is
+// returned, even with long streams still pending.
+func TestMergeStreamsEmitError(t *testing.T) {
+	boom := errors.New("boom")
+	long := make([]int, 10_000)
+	for i := range long {
+		long[i] = i
+	}
+	seen := 0
+	err := MergeStreams(2, intLess, func(int) error {
+		seen++
+		if seen == 5 {
+			return boom
+		}
+		return nil
+	}, intSource(long))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if seen != 5 {
+		t.Fatalf("emit ran %d times after error", seen)
+	}
+}
+
+// TestMergeStreamsSourceError checks that a failing source aborts the merge
+// with its error after a clean merged prefix, and that a source error at
+// end-of-stream (the ctx.Err() pattern) is not lost.
+func TestMergeStreamsSourceError(t *testing.T) {
+	fail := errors.New("shard fell over")
+	failing := func(push func(int) error) error {
+		for v := 0; v < 10; v += 2 {
+			if err := push(v); err != nil {
+				return err
+			}
+		}
+		return fail
+	}
+	var got []int
+	err := MergeStreams(1, intLess, func(v int) error { got = append(got, v); return nil },
+		failing, intSource([]int{1, 3, 5, 7, 9, 11}))
+	if !errors.Is(err, fail) {
+		t.Fatalf("err = %v, want %v", err, fail)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("prefix out of order: %v", got)
+	}
+
+	// Error with no items at all.
+	err = MergeStreams(1, intLess, func(int) error { return nil },
+		func(push func(int) error) error { return fail })
+	if !errors.Is(err, fail) {
+		t.Fatalf("immediate source error: %v", err)
+	}
+}
+
+// TestMergeStreamsBoundedBuffer checks that a source cannot run more than
+// buffer+1 items ahead of the emitter (one in the push hand-off, buffer in
+// the channel).
+func TestMergeStreamsBoundedBuffer(t *testing.T) {
+	const buffer = 4
+	var produced atomic.Int64
+	src := func(push func(int) error) error {
+		for v := 0; v < 1000; v++ {
+			produced.Store(int64(v + 1))
+			if err := push(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	emitted := 0
+	err := MergeStreams(buffer, intLess, func(v int) error {
+		emitted++
+		// The producer may be at most buffer+1 ahead of what was emitted.
+		if lead := int(produced.Load()) - emitted; lead > buffer+1 {
+			return fmt.Errorf("producer ran %d ahead", lead)
+		}
+		return nil
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 1000 {
+		t.Fatalf("emitted %d items", emitted)
+	}
+}

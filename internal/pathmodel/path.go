@@ -35,6 +35,14 @@ const (
 	LogDateColumn    = "Date"
 )
 
+// RequiredLogColumns returns the Log columns every auditing workflow needs:
+// the row id, date, user, and patient. Loaders and federation members
+// validate input logs against this one list so the CLI and the library
+// cannot drift apart on what a well-formed log is.
+func RequiredLogColumns() []string {
+	return []string{LogIDColumn, LogDateColumn, LogUserColumn, LogPatientColumn}
+}
+
 // StartAttr returns the start attribute of every explanation path.
 func StartAttr() schemagraph.Attr {
 	return schemagraph.Attr{Table: LogTable, Column: LogPatientColumn}

@@ -79,9 +79,10 @@ type engine struct {
 	planMisses atomic.Int64
 
 	// reachCap is the per-plan bound on resident reach-memo entries (0 =
-	// unbounded); it is read when a plan entry is created, so changes apply
-	// to plans prepared afterward. reachEvictions counts reach-memo
-	// evictions across every plan of the engine.
+	// unbounded); it is read when a plan entry is created, and
+	// SetReachMemoCap additionally pushes a new value into every
+	// already-cached plan. reachEvictions counts reach-memo evictions across
+	// every plan of the engine.
 	reachCap       atomic.Int64
 	reachEvictions atomic.Int64
 }
@@ -155,14 +156,22 @@ func defaultReachMemoCap(logRows int) int {
 // entries are evicted clock-wise and transparently recomputed on the next
 // miss, so results never change — only memory and recomputation trade off.
 // cap <= 0 removes the bound. The setting is engine-wide (shared by every
-// Clone) and applies to plans prepared after the call; call InvalidatePlans
-// to rebuild existing entries under the new bound. The default is sized off
-// the log's row count; see PlanCacheStats for the observed eviction counts.
+// Clone) and applies to every plan: plans prepared later adopt it at
+// creation, and plans already in the cache are re-capped in place — a
+// lowered bound evicts their excess entries immediately (counted in
+// PlanCacheStats.ReachEvictions) instead of waiting for the next prepare.
+// The default is sized off the log's row count.
 func (ev *Evaluator) SetReachMemoCap(cap int) {
 	if cap < 0 {
 		cap = 0
 	}
-	ev.engine.reachCap.Store(int64(cap))
+	eng := ev.engine
+	eng.reachCap.Store(int64(cap))
+	eng.planMu.RLock()
+	defer eng.planMu.RUnlock()
+	for _, ent := range eng.plans {
+		ent.reach.setCap(cap)
+	}
 }
 
 // ReachMemoCap returns the configured per-plan reach-memo bound (0 =

@@ -271,6 +271,25 @@ type PlanCacheStats struct {
 	ReachCap int
 }
 
+// Add returns the element-wise aggregate of two snapshots: counters sum,
+// which is how a federation folds the plan caches of its per-shard engines
+// into one logical view. ReachCap is a configuration, not a counter: it is
+// kept when both snapshots agree and becomes -1 ("mixed") when they differ,
+// so an aggregate never silently reports one shard's cap as everyone's.
+func (s PlanCacheStats) Add(o PlanCacheStats) PlanCacheStats {
+	out := PlanCacheStats{
+		Hits:           s.Hits + o.Hits,
+		Misses:         s.Misses + o.Misses,
+		ReachEvictions: s.ReachEvictions + o.ReachEvictions,
+		ReachEntries:   s.ReachEntries + o.ReachEntries,
+		ReachCap:       s.ReachCap,
+	}
+	if s.ReachCap != o.ReachCap {
+		out.ReachCap = -1
+	}
+	return out
+}
+
 // PlanCacheStats returns the engine-wide plan-cache counters. Unlike the
 // per-cursor query counters, these are shared by all clones: a hit on any
 // cursor counts here.

@@ -24,15 +24,16 @@ const reachShardCount = 8
 // the differential tests run the cached and evicted paths against each
 // other.
 type reachCache struct {
-	// shardCap bounds each shard's resident entries; 0 means unbounded
-	// (the pre-bounding behavior, available via SetReachMemoCap(0)).
-	shardCap  int
 	evictions *atomic.Int64 // engine-wide eviction counter, shared by all plans
 	shards    [reachShardCount]reachShard
 }
 
 type reachShard struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// cap bounds this shard's resident entries; 0 means unbounded (the
+	// pre-bounding behavior, available via SetReachMemoCap(0)). It is
+	// guarded by mu because SetReachMemoCap re-caps live caches.
+	cap     int
 	entries map[relation.Value]*reachEntry
 	ring    []relation.Value // clock ring over resident keys
 	hand    int              // next ring position the clock sweep inspects
@@ -48,13 +49,72 @@ type reachEntry struct {
 // engine-wide counter.
 func newReachCache(cap int, evictions *atomic.Int64) *reachCache {
 	c := &reachCache{evictions: evictions}
-	if cap > 0 {
-		c.shardCap = (cap + reachShardCount - 1) / reachShardCount
-	}
 	for i := range c.shards {
+		c.shards[i].cap = perShardCap(cap)
 		c.shards[i].entries = make(map[relation.Value]*reachEntry)
 	}
 	return c
+}
+
+// perShardCap spreads a whole-cache bound across the shards (0 stays 0,
+// meaning unbounded).
+func perShardCap(cap int) int {
+	if cap <= 0 {
+		return 0
+	}
+	return (cap + reachShardCount - 1) / reachShardCount
+}
+
+// setCap re-bounds a live cache: the new cap applies immediately, and shards
+// over the new bound evict down via the same clock policy the insert path
+// uses (clear reference bits, evict unreferenced entries), so an engine
+// whose cap is lowered mid-life releases memory without rebuilding its
+// plans. Raising the cap (or passing 0) just lifts the bound. Eviction
+// deletes map entries during the sweep and compacts the ring once at the
+// end — O(resident entries), never per-eviction ring surgery — so re-capping
+// a large warm memo stays linear.
+func (c *reachCache) setCap(cap int) {
+	per := perShardCap(cap)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.cap = per
+		if s.cap > 0 && len(s.entries) > s.cap {
+			// Clock sweep: the first lap clears reference bits, so within two
+			// laps enough unreferenced entries are found and deleted.
+			n := len(s.ring)
+			for len(s.entries) > s.cap {
+				k := s.ring[s.hand]
+				if e, ok := s.entries[k]; ok {
+					if e.ref {
+						e.ref = false
+					} else {
+						delete(s.entries, k)
+						c.evictions.Add(1)
+					}
+				}
+				s.hand = (s.hand + 1) % n
+			}
+			// Compact the ring once: survivors keep their clock order and the
+			// hand keeps its position among them.
+			ring := make([]relation.Value, 0, len(s.entries))
+			hand := 0
+			for j, k := range s.ring {
+				if _, ok := s.entries[k]; !ok {
+					continue
+				}
+				if j < s.hand {
+					hand++
+				}
+				ring = append(ring, k)
+			}
+			if hand >= len(ring) {
+				hand = 0
+			}
+			s.ring, s.hand = ring, hand
+		}
+		s.mu.Unlock()
+	}
 }
 
 // shard picks the shard for a key with an FNV-1a hash over the value's
@@ -104,7 +164,7 @@ func (c *reachCache) put(v relation.Value, set valueSet) {
 	if _, ok := s.entries[v]; ok {
 		return
 	}
-	if c.shardCap > 0 && len(s.entries) >= c.shardCap {
+	if s.cap > 0 && len(s.entries) >= s.cap {
 		// Clock sweep: clear reference bits until an unreferenced entry is
 		// found (at most two passes — after one full sweep every bit is
 		// clear) and replace it in place.

@@ -170,3 +170,71 @@ func TestReachMemoBoundedOnMedium(t *testing.T) {
 		t.Errorf("unbounded run retained only %d entries; dataset too small to prove bounding", stU.ReachEntries)
 	}
 }
+
+// TestSetReachMemoCapRetrofitsPreparedPlans pins the retrofit path: lowering
+// the cap on an engine whose plans are already prepared and whose memos are
+// already populated must evict the excess entries immediately — without
+// InvalidatePlans — while classification results stay identical, and a later
+// raise must lift the bound for the same live plan.
+func TestSetReachMemoCapRetrofitsPreparedPlans(t *testing.T) {
+	const patients = 400
+	db := manyPatientDB(patients)
+	path := reachTestPath(t)
+
+	ev := query.NewEvaluator(db)
+	ev.SetReachMemoCap(0) // prepare and populate unbounded
+	pp := ev.Prepare(path)
+	want := pp.ExplainedRows()
+	st := ev.PlanCacheStats()
+	if st.ReachEntries < patients || st.ReachEvictions != 0 {
+		t.Fatalf("unbounded warm-up: %d entries, %d evictions", st.ReachEntries, st.ReachEvictions)
+	}
+
+	// Re-cap the live plan: the already-resident memo must shrink now.
+	const cap = 32
+	ev.SetReachMemoCap(cap)
+	st = ev.PlanCacheStats()
+	if st.ReachCap != cap {
+		t.Errorf("ReachCap = %d, want %d", st.ReachCap, cap)
+	}
+	if st.ReachEntries > cap+8 {
+		t.Errorf("retrofit left %d resident entries, want <= %d", st.ReachEntries, cap+8)
+	}
+	if st.ReachEvictions == 0 {
+		t.Error("retrofit evicted nothing from a populated memo")
+	}
+
+	// The same prepared handle keeps classifying identically over the mix of
+	// surviving and recomputed entries, and stays within the new bound.
+	if got := pp.ExplainedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatal("re-capped plan changed classification results")
+	}
+	if st = ev.PlanCacheStats(); st.ReachEntries > cap+8 {
+		t.Errorf("post-retrofit evaluation grew residency to %d, want <= %d", st.ReachEntries, cap+8)
+	}
+
+	// Raising the cap on the same live plan lifts the bound again.
+	ev.SetReachMemoCap(0)
+	if got := pp.ExplainedRows(); !reflect.DeepEqual(got, want) {
+		t.Fatal("unbounding a live plan changed classification results")
+	}
+	if st = ev.PlanCacheStats(); st.ReachEntries < patients {
+		t.Errorf("unbounded re-evaluation retained only %d entries", st.ReachEntries)
+	}
+}
+
+// TestPlanCacheStatsAdd pins the federation-facing aggregate: counters sum,
+// and ReachCap survives only when the inputs agree.
+func TestPlanCacheStatsAdd(t *testing.T) {
+	a := query.PlanCacheStats{Hits: 3, Misses: 2, ReachEvictions: 5, ReachEntries: 7, ReachCap: 64}
+	b := query.PlanCacheStats{Hits: 10, Misses: 1, ReachEvictions: 1, ReachEntries: 2, ReachCap: 64}
+	got := a.Add(b)
+	want := query.PlanCacheStats{Hits: 13, Misses: 3, ReachEvictions: 6, ReachEntries: 9, ReachCap: 64}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	b.ReachCap = 128
+	if got := a.Add(b); got.ReachCap != -1 {
+		t.Errorf("mixed caps aggregated to %d, want -1", got.ReachCap)
+	}
+}

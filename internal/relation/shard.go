@@ -1,0 +1,54 @@
+package relation
+
+import "fmt"
+
+// Select returns a new table named name containing the receiver's rows at
+// the given indexes, in the given order. Rows are shared, not copied (they
+// are never mutated), so selecting a shard of a large log costs one slice of
+// row pointers. It panics on out-of-range indexes because those indicate a
+// partitioning bug, not a runtime condition. The new table shares no index
+// state with the receiver.
+func (t *Table) Select(name string, rows []int) *Table {
+	out := NewTable(name, t.columns...)
+	out.rows = make([][]Value, 0, len(rows))
+	for _, r := range rows {
+		if r < 0 || r >= len(t.rows) {
+			panic(fmt.Sprintf("relation: Select row %d out of range for table %q with %d rows", r, t.name, len(t.rows)))
+		}
+		out.rows = append(out.rows, t.rows[r])
+	}
+	return out
+}
+
+// Concat returns a new table named name holding the rows of every input
+// table appended in order — the single-log view of a set of shard logs. All
+// inputs must share exactly the same column list (same names, same order);
+// a mismatch is reported as an error because federated inputs come from
+// outside the process. Rows are shared, not copied. Concat of zero tables is
+// an error (there is no schema to adopt).
+func Concat(name string, tables ...*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("relation: Concat %q needs at least one table", name)
+	}
+	first := tables[0]
+	total := 0
+	for _, t := range tables {
+		if len(t.columns) != len(first.columns) {
+			return nil, fmt.Errorf("relation: Concat %q: table %q has %d columns, table %q has %d",
+				name, t.name, len(t.columns), first.name, len(first.columns))
+		}
+		for i, c := range t.columns {
+			if c != first.columns[i] {
+				return nil, fmt.Errorf("relation: Concat %q: column %d is %q in table %q but %q in table %q",
+					name, i, c, t.name, first.columns[i], first.name)
+			}
+		}
+		total += len(t.rows)
+	}
+	out := NewTable(name, first.columns...)
+	out.rows = make([][]Value, 0, total)
+	for _, t := range tables {
+		out.rows = append(out.rows, t.rows...)
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+func shardFixture() *Table {
+	t := NewTable("Log", "Lid", "User")
+	for i := 0; i < 6; i++ {
+		t.Append(Int(int64(i+1)), Int(int64(100+i)))
+	}
+	return t
+}
+
+func TestSelectSubsetsInOrder(t *testing.T) {
+	tbl := shardFixture()
+	sel := tbl.Select("Shard", []int{4, 1, 5})
+	if sel.Name() != "Shard" || sel.NumRows() != 3 {
+		t.Fatalf("got %q with %d rows", sel.Name(), sel.NumRows())
+	}
+	for i, want := range []int64{5, 2, 6} {
+		if got := sel.Get(i, "Lid").AsInt(); got != want {
+			t.Errorf("row %d: Lid = %d, want %d", i, got, want)
+		}
+	}
+	if !reflect.DeepEqual(sel.Columns(), tbl.Columns()) {
+		t.Errorf("columns changed: %v", sel.Columns())
+	}
+	// Empty selection is a valid, empty shard.
+	if empty := tbl.Select("Empty", nil); empty.NumRows() != 0 {
+		t.Errorf("empty selection has %d rows", empty.NumRows())
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select with an out-of-range row did not panic")
+		}
+	}()
+	shardFixture().Select("Bad", []int{6})
+}
+
+func TestConcatRebuildsOriginal(t *testing.T) {
+	tbl := shardFixture()
+	a := tbl.Select("A", []int{0, 2, 4})
+	b := tbl.Select("B", []int{1, 3, 5})
+	got, err := Concat("Log", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tbl.NumRows() {
+		t.Fatalf("concat has %d rows, want %d", got.NumRows(), tbl.NumRows())
+	}
+	for i, want := range []int64{1, 3, 5, 2, 4, 6} {
+		if lid := got.Get(i, "Lid").AsInt(); lid != want {
+			t.Errorf("row %d: Lid = %d, want %d", i, lid, want)
+		}
+	}
+}
+
+func TestConcatSchemaMismatch(t *testing.T) {
+	a := NewTable("A", "Lid", "User")
+	b := NewTable("B", "Lid", "Patient")
+	if _, err := Concat("Log", a, b); err == nil {
+		t.Error("mismatched column names accepted")
+	}
+	c := NewTable("C", "Lid")
+	if _, err := Concat("Log", a, c); err == nil {
+		t.Error("mismatched column counts accepted")
+	}
+	if _, err := Concat("Log"); err == nil {
+		t.Error("zero tables accepted")
+	}
+}
