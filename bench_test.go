@@ -18,14 +18,18 @@ import (
 	"testing"
 
 	"repro/internal/accesslog"
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/ehr"
 	"repro/internal/experiments"
 	"repro/internal/explain"
 	"repro/internal/federate"
 	"repro/internal/groups"
+	"repro/internal/metrics"
 	"repro/internal/mine"
+	"repro/internal/pathmodel"
 	"repro/internal/query"
+	"repro/internal/relation"
 )
 
 var (
@@ -685,5 +689,167 @@ func BenchmarkAblationBridgeLength(b *testing.B) {
 				mine.Bridged(ev, graph, opt, l)
 			}
 		})
+	}
+}
+
+// --- incremental append benchmarks -----------------------------------------
+
+var (
+	incrOnce    sync.Once
+	incrAud     *core.Auditor
+	incrLog     *relation.Table
+	incrPattern [][]relation.Value
+	incrNextLid int64
+	incrMaxDate int64
+)
+
+// incrementalAuditor builds (once) a mutable Medium auditor — separate from
+// the shared read-only one, because these benchmarks append to its log —
+// with the non-group catalog and pre-warmed masks, plus an append pattern:
+// the last ~1% of the generated log, re-stamped per batch with fresh
+// ascending Lids at the log's final date so every batch is a chronological
+// append of realistic rows (existing patients and users, so the warm reach
+// memo is representative).
+func incrementalAuditor(b *testing.B) (*core.Auditor, *relation.Table) {
+	b.Helper()
+	incrOnce.Do(func() {
+		ds := ehr.Generate(ehr.Medium())
+		a := core.NewAuditor(ds.DB, ehr.SchemaGraph(ehr.DefaultGraphOptions()), core.WithNamer(ds))
+		a.AddTemplates(explain.Handcrafted(true, false).All()...)
+		a.ExplainedFractionParallel(context.Background(), 8) // warm masks
+		incrAud = a
+		incrLog = ds.DB.MustTable(pathmodel.LogTable)
+		n := incrLog.NumRows()
+		li, _ := incrLog.ColumnIndex(pathmodel.LogIDColumn)
+		di, _ := incrLog.ColumnIndex(pathmodel.LogDateColumn)
+		for r := 0; r < n; r++ {
+			if lid := incrLog.Row(r)[li].AsInt(); lid >= incrNextLid {
+				incrNextLid = lid + 1
+			}
+			if d := incrLog.Row(r)[di].AsInt(); d > incrMaxDate {
+				incrMaxDate = d
+			}
+		}
+		batch := n / 100
+		if batch < 1 {
+			batch = 1
+		}
+		for r := n - batch; r < n; r++ {
+			incrPattern = append(incrPattern, incrLog.Row(r))
+		}
+	})
+	return incrAud, incrLog
+}
+
+// appendIncrementalBatch appends one pattern batch (~1% of Medium) of
+// strictly later (Date, Lid) rows and returns the batch size.
+func appendIncrementalBatch(log *relation.Table) int {
+	li, _ := log.ColumnIndex(pathmodel.LogIDColumn)
+	di, _ := log.ColumnIndex(pathmodel.LogDateColumn)
+	for _, src := range incrPattern {
+		row := append([]relation.Value(nil), src...)
+		row[li] = relation.Int(incrNextLid)
+		row[di] = relation.Date(int(incrMaxDate))
+		incrNextLid++
+		log.Append(row...)
+	}
+	return len(incrPattern)
+}
+
+// BenchmarkIncrementalAppend measures the tentpole: append 1% of the Medium
+// log, then Refresh — cached template masks are extended over just the new
+// rows on surviving compiled plans and warm reach memos, so each iteration
+// costs O(new rows). Compare ns/op and allocs/op against
+// BenchmarkIncrementalAppendColdBaseline (same append, masks and plans
+// dropped first — the pre-incremental behavior of recomputing the world);
+// the acceptance bar is >= 5x on both.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	a, log := incrementalAuditor(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		appendIncrementalBatch(log)
+		if err := a.Refresh(ctx, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := a.PlanCacheStats(); st.MaskExtensions == 0 {
+		b.Fatal("incremental benchmark never extended a mask")
+	}
+}
+
+// BenchmarkIncrementalAppendColdBaseline performs the same append but drops
+// every cached mask and compiled plan first, so Refresh rebuilds masks from
+// row 0 — what every mutation cost before append-aware invalidation.
+func BenchmarkIncrementalAppendColdBaseline(b *testing.B) {
+	a, log := incrementalAuditor(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		appendIncrementalBatch(log)
+		a.ResetMaskCache()
+		a.Evaluator().InvalidatePlans()
+		if err := a.Refresh(ctx, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- packed-mask benchmarks ------------------------------------------------
+
+var (
+	maskFixOnce sync.Once
+	maskBools   [][]bool
+	maskBits    []*bitset.Bits
+)
+
+// maskFixtures evaluates (once) every catalog template mask over the Medium
+// log in both representations.
+func maskFixtures(b *testing.B) ([][]bool, []*bitset.Bits) {
+	b.Helper()
+	a := mediumAuditor(b)
+	maskFixOnce.Do(func() {
+		ev := a.Evaluator()
+		for _, tpl := range a.Templates() {
+			m := tpl.Evaluate(ev)
+			maskBools = append(maskBools, m)
+			maskBits = append(maskBits, bitset.FromBools(m))
+		}
+	})
+	return maskBools, maskBits
+}
+
+// BenchmarkMaskBitsetUnion times the packed union + fraction over the
+// Medium catalog masks — one OR and one popcount per 64 rows. Compare
+// against BenchmarkMaskBitsetBoolBaseline, the element-wise []bool path the
+// engine used before (8x the memory, one branch per row per mask).
+func BenchmarkMaskBitsetUnion(b *testing.B) {
+	_, bits := maskFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = metrics.FractionBits(metrics.UnionBits(bits...))
+	}
+	if sink == 0 {
+		b.Fatal("explained fraction is zero")
+	}
+}
+
+// BenchmarkMaskBitsetBoolBaseline is the element-wise []bool union +
+// fraction BenchmarkMaskBitsetUnion replaces.
+func BenchmarkMaskBitsetBoolBaseline(b *testing.B) {
+	bools, _ := maskFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = metrics.Fraction(metrics.Union(bools...))
+	}
+	if sink == 0 {
+		b.Fatal("explained fraction is zero")
 	}
 }

@@ -9,11 +9,16 @@
 //	ebaudit [flags] summary
 //	ebaudit [flags] patient -id N        # portal report for one patient
 //	ebaudit [flags] audit [-n N] [-v] [-stream] [-shards K]
+//	                [-follow [-poll D] [-follow-rows N]]
 //	                                     # batch-audit every access in parallel;
 //	                                     # -stream emits NDJSON reports in log
 //	                                     # order with bounded memory; -shards K
 //	                                     # partitions the log across K federated
-//	                                     # engines (identical output)
+//	                                     # engines (identical output); -follow
+//	                                     # polls -data for appended log rows and
+//	                                     # emits only the new reports, extending
+//	                                     # cached template masks incrementally
+//	                                     # instead of recomputing them
 //	ebaudit [flags] mine [-algo name]    # mine templates for review
 //	ebaudit [flags] unexplained [-n N]   # misuse-detection shortlist
 //	ebaudit [flags] groups [-depth D]    # collaborative-group composition
@@ -178,7 +183,7 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR[,DIR...]] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
-	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals), -stream (NDJSON reports in log order, bounded memory), -shards K (federated shard-parallel audit)")
+	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals), -stream (NDJSON reports in log order, bounded memory), -shards K (federated shard-parallel audit), -follow (poll -data for appended rows, incremental refresh; with -poll D, -follow-rows N)")
 }
 
 // app holds the prepared auditor — a single engine, or a federation of
@@ -190,6 +195,10 @@ type app struct {
 	auditor *core.Auditor
 	fed     *federate.Federation
 	hier    *groups.Hierarchy
+	// dataDir is the single -data directory the database was loaded from
+	// ("" for generated datasets and multi-directory federations); audit
+	// -follow polls it for appended log rows.
+	dataDir string
 	// parallelism is the batch engine's worker count.
 	parallelism    int
 	stdout, stderr io.Writer
@@ -251,7 +260,11 @@ func loadDatabase(dir string) (*relation.Database, error) {
 
 // newAppFromData builds the auditor over a loaded database. Catalog
 // templates whose event tables are absent from the load are skipped with a
-// note instead of panicking at evaluation time.
+// note instead of panicking at evaluation time. A loaded Groups table is
+// reused as-is rather than retrained (matching federate.Split): a reloaded
+// export then audits identically to the session that wrote it, and follow
+// mode never retrains groups mid-stream — group membership stays a stable
+// training artifact while the log grows.
 func newAppFromData(dir string, parallelism int, stderr io.Writer) (*app, error) {
 	db, err := loadDatabase(dir)
 	if err != nil {
@@ -259,7 +272,10 @@ func newAppFromData(dir string, parallelism int, stderr io.Writer) (*app, error)
 	}
 	graph := ehr.SchemaGraph(ehr.DefaultGraphOptions())
 	a := core.NewAuditor(db, graph)
-	hier := a.BuildGroups(core.GroupsOptions{})
+	var hier *groups.Hierarchy
+	if !db.HasTable(core.DefaultGroupsTable) {
+		hier = a.BuildGroups(core.GroupsOptions{})
+	}
 	for _, t := range explain.Handcrafted(true, true).All() {
 		if missing := missingTables(db, t); len(missing) > 0 {
 			fmt.Fprintf(stderr, "ebaudit: skipping template %s (missing tables: %s)\n",
@@ -268,7 +284,7 @@ func newAppFromData(dir string, parallelism int, stderr io.Writer) (*app, error)
 		}
 		a.AddTemplates(t)
 	}
-	return &app{db: db, auditor: a, hier: hier, parallelism: parallelism}, nil
+	return &app{db: db, auditor: a, hier: hier, dataDir: dir, parallelism: parallelism}, nil
 }
 
 // newAppFromShards builds a federated app over several loaded directories,
@@ -445,9 +461,12 @@ func (a *app) audit(args []string) error {
 	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
 	fs.SetOutput(a.stderr)
 	n := fs.Int("n", 10, "maximum unexplained rows to show")
-	verbose := fs.Bool("v", false, "also report engine internals (plan-cache and reach-memo counters)")
+	verbose := fs.Bool("v", false, "also report engine internals (plan-cache, reach-memo, and mask-cache counters)")
 	stream := fs.Bool("stream", false, "emit every report as NDJSON on stdout (log order, bounded memory)")
 	shards := fs.Int("shards", 0, "partition the log across K federated shard engines")
+	follow := fs.Bool("follow", false, "after auditing the current log, poll -data for appended rows and emit only their NDJSON reports (incremental mask refresh)")
+	poll := fs.Duration("poll", 2*time.Second, "follow mode: interval between -data polls")
+	followRows := fs.Int("follow-rows", 0, "follow mode: exit once this many rows have been audited (0 = run until interrupted)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -472,6 +491,22 @@ func (a *app) audit(args []string) error {
 		if fed, err = a.federation(*shards); err != nil {
 			return err
 		}
+	}
+
+	if *follow {
+		if *stream {
+			return errors.New("audit -follow already streams NDJSON; drop -stream")
+		}
+		if fed != nil {
+			return errors.New("audit -follow requires a single engine (no -shards or multi-directory -data)")
+		}
+		if a.dataDir == "" {
+			return errors.New("audit -follow requires -data DIR (a generated dataset has no append source to poll)")
+		}
+		if *poll <= 0 {
+			return fmt.Errorf("audit -poll must be positive, got %v", *poll)
+		}
+		return a.auditFollow(workers, *poll, *followRows, *verbose)
 	}
 
 	if *stream {
@@ -552,12 +587,14 @@ func (a *app) auditStreamFederated(fed *federate.Federation, workers int, verbos
 // line per shard engine.
 func (a *app) printFederatedStats(w io.Writer, fed *federate.Federation) {
 	agg := fed.PlanCacheStats()
-	fmt.Fprintf(w, "plan cache (all shards): %d hits, %d misses; reach memo: %d resident entries, %d evictions\n",
-		agg.Hits, agg.Misses, agg.ReachEntries, agg.ReachEvictions)
+	fmt.Fprintf(w, "plan cache (all shards): %d hits, %d misses; reach memo: %d resident entries, %d evictions; mask cache: %d hits, %d recomputes, %d extensions\n",
+		agg.Hits, agg.Misses, agg.ReachEntries, agg.ReachEvictions,
+		agg.MaskHits, agg.MaskRecomputes, agg.MaskExtensions)
 	for _, si := range fed.ShardInfos() {
-		fmt.Fprintf(w, "  %s: %d rows, plan cache %d hits / %d misses, reach memo %d entries / %d evictions (cap %d)\n",
+		fmt.Fprintf(w, "  %s: %d rows, plan cache %d hits / %d misses, reach memo %d entries / %d evictions (cap %d), masks %d/%d/%d\n",
 			si.Name, si.Rows, si.Stats.Hits, si.Stats.Misses,
-			si.Stats.ReachEntries, si.Stats.ReachEvictions, si.Stats.ReachCap)
+			si.Stats.ReachEntries, si.Stats.ReachEvictions, si.Stats.ReachCap,
+			si.Stats.MaskHits, si.Stats.MaskRecomputes, si.Stats.MaskExtensions)
 	}
 }
 
@@ -603,13 +640,127 @@ func (a *app) auditStream(workers int, verbose bool) error {
 }
 
 // printEngineStats reports the shared query-engine internals: plan-cache
-// hit/miss counters plus the bounded reach memo's residency and evictions.
+// hit/miss counters, the bounded reach memo's residency and evictions, and
+// the template-mask cache's hit/recompute/extension outcomes.
 func (a *app) printEngineStats(w io.Writer, workers int) {
-	st := a.auditor.Evaluator().PlanCacheStats()
+	st := a.auditor.PlanCacheStats()
 	fmt.Fprintf(w, "plan cache: %d hits, %d misses (%d compiled plans reused across %d workers)\n",
 		st.Hits, st.Misses, st.Misses, workers)
 	fmt.Fprintf(w, "reach memo: %d resident entries, %d evictions (per-plan cap %d)\n",
 		st.ReachEntries, st.ReachEvictions, st.ReachCap)
+	fmt.Fprintf(w, "mask cache: %d hits, %d recomputes, %d incremental extensions\n",
+		st.MaskHits, st.MaskRecomputes, st.MaskExtensions)
+}
+
+// auditFollow is the incremental mode of the audit subcommand: it audits
+// the rows already loaded, emits their NDJSON reports, then polls the -data
+// directory's Log table for appended rows, folds each batch in with
+// core.Auditor.Refresh (cached template masks are extended over just the
+// new rows — never recomputed from row 0), and emits only the new reports.
+// The concatenated output is byte-identical to a single `audit -stream`
+// over the final log, which the CLI differential test pins down. Poll
+// errors (a log CSV caught mid-write, say) are reported to stderr and
+// retried on the next tick; a log that shrank or changed layout is also a
+// retried error, because follow mode is defined only for append-only
+// growth.
+func (a *app) auditFollow(workers int, poll time.Duration, stopRows int, verbose bool) error {
+	log := a.db.MustTable(pathmodel.LogTable)
+	ctx := context.Background()
+	bw := bufio.NewWriter(a.stdout)
+	enc := json.NewEncoder(bw)
+
+	// Initial catch-up: the whole current log through the worker-pool
+	// streaming pipeline (identical bytes to a one-shot audit -stream; the
+	// appended batches below are small and rendered row by row).
+	if err := a.auditor.StreamReports(ctx, workers, func(rep core.AccessReport) error {
+		return enc.Encode(toNDJSON(rep))
+	}); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	audited := log.NumRows()
+	fmt.Fprintf(a.stderr, "following %s: %d reports emitted, polling every %v\n",
+		a.dataDir, audited, poll)
+	// A follow session usually ends by interruption (no defers run), so
+	// the -v stats print after the catch-up and after every appended batch
+	// rather than on return.
+	if verbose {
+		a.printEngineStats(a.stderr, workers)
+	}
+
+	var lastStat os.FileInfo
+	for stopRows <= 0 || audited < stopRows {
+		time.Sleep(poll)
+		added, stat, err := a.appendNewLogRows(log, lastStat)
+		if err != nil {
+			fmt.Fprintf(a.stderr, "ebaudit: follow poll: %v\n", err)
+			continue
+		}
+		lastStat = stat
+		if added == 0 {
+			continue
+		}
+		if err := a.auditor.Refresh(ctx, workers); err != nil {
+			return err
+		}
+		for r := audited; r < audited+added; r++ {
+			if err := enc.Encode(toNDJSON(a.auditor.ExplainRow(r, 0))); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		audited += added
+		fmt.Fprintf(a.stderr, "appended %d rows (%d audited)\n", added, audited)
+		if verbose {
+			a.printEngineStats(a.stderr, workers)
+		}
+	}
+	return nil
+}
+
+// appendNewLogRows re-reads the -data directory's Log table and appends to
+// log the rows beyond its current count, returning how many were added and
+// the file stat observed. When the file's size and mtime match lastStat,
+// the parse is skipped entirely — an idle poll tick is one stat call, not a
+// full CSV parse. The reloaded table must keep the same column layout and
+// at least the current row count — follow mode observes an append-only
+// log, not arbitrary edits (the pre-existing prefix is trusted, exactly as
+// a database tailing a WAL trusts already-applied records).
+func (a *app) appendNewLogRows(log *relation.Table, lastStat os.FileInfo) (int, os.FileInfo, error) {
+	path := filepath.Join(a.dataDir, pathmodel.LogTable+".csv")
+	stat, err := os.Stat(path)
+	if err != nil {
+		return 0, lastStat, err
+	}
+	if lastStat != nil && stat.Size() == lastStat.Size() && stat.ModTime().Equal(lastStat.ModTime()) {
+		return 0, lastStat, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, lastStat, err
+	}
+	t, err := relation.Load(pathmodel.LogTable, f)
+	f.Close()
+	if err != nil {
+		return 0, lastStat, err
+	}
+	if strings.Join(t.Columns(), ",") != strings.Join(log.Columns(), ",") {
+		return 0, lastStat, fmt.Errorf("reloaded %s table changed columns (%s -> %s)",
+			pathmodel.LogTable, strings.Join(log.Columns(), ","), strings.Join(t.Columns(), ","))
+	}
+	cur := log.NumRows()
+	if t.NumRows() < cur {
+		return 0, lastStat, fmt.Errorf("reloaded %s table shrank from %d to %d rows; follow mode is append-only",
+			pathmodel.LogTable, cur, t.NumRows())
+	}
+	for r := cur; r < t.NumRows(); r++ {
+		log.Append(t.Row(r)...)
+	}
+	return t.NumRows() - cur, stat, nil
 }
 
 func (a *app) patient(args []string) error {
@@ -739,7 +890,7 @@ func (a *app) groups(args []string) error {
 		return err
 	}
 	if a.hier == nil {
-		return errors.New("no collaborative-group hierarchy available")
+		return errors.New("no collaborative-group hierarchy available (a Groups table loaded from -data is reused as-is, without its training hierarchy)")
 	}
 	d := *depth
 	if d > a.hier.MaxDepth() {

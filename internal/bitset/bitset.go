@@ -1,0 +1,188 @@
+// Package bitset provides the packed mask representation behind the
+// auditing engine's per-template explained-row masks. A Bits holds one bit
+// per log row in []uint64 words — 8x smaller than the []bool masks it
+// replaces — and the mask combinators the metrics layer needs (union,
+// difference, popcount) run word-at-a-time instead of element-wise, so
+// summarizing a hospital-scale audit (the "All" union rows, the explained
+// fraction, the unexplained scan) costs one machine word per 64 accesses.
+//
+// The compact-representation lesson comes from factorised query engines
+// (FDB): at scale the shape of the intermediate result dominates the
+// algorithm that produces it. Here the intermediate results are boolean
+// masks, and packing them is what makes the incremental append path cheap —
+// extending a cached mask shares the packed prefix and touches only the
+// words the new rows land in.
+//
+// # Concurrency
+//
+// A Bits is not synchronized. The one concurrent pattern the engine uses is
+// writing disjoint 64-aligned row ranges of a fresh Bits from several
+// goroutines via SetBools: aligned ranges touch disjoint words, so no two
+// writers share a word (the core layer aligns its mask shards for exactly
+// this reason). Everything else follows the usual rule: publish, then read.
+package bitset
+
+import "math/bits"
+
+// Bits is a fixed-length sequence of bits packed 64 to a word. The zero
+// value is an empty bitset; use New (or Grow) for a sized one. Bits beyond
+// Len in the final word are always zero — every operation maintains the
+// invariant, which is what lets Count and Or run without masking.
+type Bits struct {
+	n     int
+	words []uint64
+}
+
+// wordsFor returns the word count backing n bits.
+func wordsFor(n int) int { return (n + 63) / 64 }
+
+// New returns a Bits of length n with every bit clear.
+func New(n int) *Bits {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return &Bits{n: n, words: make([]uint64, wordsFor(n))}
+}
+
+// Len returns the number of bits.
+func (b *Bits) Len() int { return b.n }
+
+// Get reports bit i. It panics when i is out of range, matching slice
+// indexing on the []bool representation it replaces.
+func (b *Bits) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic("bitset: index out of range")
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i. It panics when i is out of range.
+func (b *Bits) Set(i int) {
+	if i < 0 || i >= b.n {
+		panic("bitset: index out of range")
+	}
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Grow extends the bitset to length n, clearing the new bits; the existing
+// prefix is preserved. Growing to a smaller or equal length is a no-op —
+// the audited log is append-only, so masks never shrink.
+func (b *Bits) Grow(n int) {
+	if n <= b.n {
+		return
+	}
+	w := wordsFor(n)
+	if w > cap(b.words) {
+		words := make([]uint64, w, w+w/4)
+		copy(words, b.words)
+		b.words = words
+	} else {
+		b.words = b.words[:w]
+	}
+	b.n = n
+}
+
+// Clone returns an independent copy. Cloning is a word-level copy — the
+// cheap operation behind copy-on-extend mask refreshes.
+func (b *Bits) Clone() *Bits {
+	out := &Bits{n: b.n, words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	return out
+}
+
+// Or sets every bit of o in b, growing b if o is longer: b |= o with the
+// shorter operand zero-extended.
+func (b *Bits) Or(o *Bits) {
+	b.Grow(o.n)
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+}
+
+// AndNot clears every bit of b that is set in o: b &^= o. Bits of o beyond
+// b's length are ignored; bits of b beyond o's length are unchanged.
+func (b *Bits) AndNot(o *Bits) {
+	words := b.words
+	if len(o.words) < len(words) {
+		words = words[:len(o.words)]
+	}
+	for i := range words {
+		words[i] &^= o.words[i]
+	}
+	b.clearTail()
+}
+
+// Count returns the number of set bits (population count, word at a time).
+func (b *Bits) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// clearTail zeroes the bits of the last word beyond Len, the invariant
+// Count and Or rely on. Only operations that could set tail bits call it.
+func (b *Bits) clearTail() {
+	if r := uint(b.n) & 63; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << r) - 1
+	}
+}
+
+// SetBools ORs vals into the bit range [off, off+len(vals)): bit off+i is
+// set where vals[i] is true, and no bit is cleared. It panics when the
+// range falls outside the bitset. Each destination word is built in a
+// register and ORed once, so bridging a []bool range costs one memory
+// write per 64 rows; concurrent callers writing 64-aligned disjoint ranges
+// touch disjoint words.
+func (b *Bits) SetBools(off int, vals []bool) {
+	if off < 0 || off+len(vals) > b.n {
+		panic("bitset: SetBools range out of bounds")
+	}
+	i := 0
+	for i < len(vals) {
+		w := uint(off+i) >> 6
+		bit := uint(off+i) & 63
+		var acc uint64
+		for ; i < len(vals) && bit < 64; bit, i = bit+1, i+1 {
+			if vals[i] {
+				acc |= 1 << bit
+			}
+		}
+		if acc != 0 {
+			b.words[w] |= acc
+		}
+	}
+}
+
+// FromBools packs a []bool mask.
+func FromBools(vals []bool) *Bits {
+	b := New(len(vals))
+	b.SetBools(0, vals)
+	return b
+}
+
+// Bools unpacks the bitset into a []bool mask — the bridge back to the
+// element-wise metrics API.
+func (b *Bits) Bools() []bool {
+	out := make([]bool, b.n)
+	for i := range out {
+		if b.words[i>>6]&(1<<(uint(i)&63)) != 0 {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// Union returns the word-level OR of the given bitsets (nil for none), each
+// zero-extended to the longest length.
+func Union(masks ...*Bits) *Bits {
+	if len(masks) == 0 {
+		return nil
+	}
+	out := masks[0].Clone()
+	for _, m := range masks[1:] {
+		out.Or(m)
+	}
+	return out
+}

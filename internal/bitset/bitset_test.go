@@ -1,0 +1,180 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// boolRef is the []bool reference model the property test checks Bits
+// against: every operation is defined element-wise with zero-extension for
+// ragged lengths, exactly the semantics the packed implementation promises.
+type boolRef []bool
+
+func (r boolRef) or(o boolRef) boolRef {
+	n := len(r)
+	if len(o) > n {
+		n = len(o)
+	}
+	out := make(boolRef, n)
+	for i := range out {
+		out[i] = (i < len(r) && r[i]) || (i < len(o) && o[i])
+	}
+	return out
+}
+
+func (r boolRef) andNot(o boolRef) boolRef {
+	out := append(boolRef(nil), r...)
+	for i := range out {
+		if i < len(o) && o[i] {
+			out[i] = false
+		}
+	}
+	return out
+}
+
+func (r boolRef) count() int {
+	n := 0
+	for _, v := range r {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func randBools(rng *rand.Rand, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Intn(3) == 0
+	}
+	return out
+}
+
+func checkEqual(t *testing.T, op string, b *Bits, ref boolRef) {
+	t.Helper()
+	if b.Len() != len(ref) {
+		t.Fatalf("%s: Len = %d, want %d", op, b.Len(), len(ref))
+	}
+	for i, want := range ref {
+		if got := b.Get(i); got != want {
+			t.Fatalf("%s: bit %d = %v, want %v", op, i, got, want)
+		}
+	}
+	if got, want := b.Count(), ref.count(); got != want {
+		t.Fatalf("%s: Count = %d, want %d", op, got, want)
+	}
+	round := FromBools(b.Bools())
+	for i := range ref {
+		if round.Get(i) != ref[i] {
+			t.Fatalf("%s: Bools/FromBools round-trip broke bit %d", op, i)
+		}
+	}
+}
+
+// TestBitsProperty drives random sequences of Or, AndNot, Grow, Set, and
+// SetBools — including ragged operand lengths spanning word boundaries —
+// against the []bool reference model.
+func TestBitsProperty(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		ref := boolRef(randBools(rng, n))
+		b := FromBools(ref)
+		checkEqual(t, "init", b, ref)
+
+		for step := 0; step < 200; step++ {
+			// Operand lengths are deliberately ragged: shorter, equal, and
+			// longer than the current bitset, crossing word boundaries.
+			m := rng.Intn(300)
+			other := boolRef(randBools(rng, m))
+			switch rng.Intn(5) {
+			case 0:
+				b.Or(FromBools(other))
+				ref = ref.or(other)
+				checkEqual(t, "Or", b, ref)
+			case 1:
+				b.AndNot(FromBools(other))
+				ref = ref.andNot(other)
+				checkEqual(t, "AndNot", b, ref)
+			case 2:
+				grown := len(ref) + rng.Intn(130)
+				b.Grow(grown)
+				for len(ref) < grown {
+					ref = append(ref, false)
+				}
+				checkEqual(t, "Grow", b, ref)
+			case 3:
+				if len(ref) > 0 {
+					i := rng.Intn(len(ref))
+					b.Set(i)
+					ref[i] = true
+					checkEqual(t, "Set", b, ref)
+				}
+			case 4:
+				if len(ref) > 0 {
+					off := rng.Intn(len(ref))
+					vals := randBools(rng, rng.Intn(len(ref)-off+1))
+					b.SetBools(off, vals)
+					for i, v := range vals {
+						if v {
+							ref[off+i] = true
+						}
+					}
+					checkEqual(t, "SetBools", b, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestUnion pins the variadic union against the reference fold, including
+// the empty and ragged cases.
+func TestUnion(t *testing.T) {
+	if Union() != nil {
+		t.Error("Union() of nothing should be nil")
+	}
+	rng := rand.New(rand.NewSource(7))
+	refs := []boolRef{randBools(rng, 10), randBools(rng, 130), randBools(rng, 64)}
+	masks := make([]*Bits, len(refs))
+	want := boolRef{}
+	for i, r := range refs {
+		masks[i] = FromBools(r)
+		want = want.or(r)
+	}
+	checkEqual(t, "Union", Union(masks...), want)
+	// Union must not mutate its operands.
+	for i, r := range refs {
+		checkEqual(t, "Union operand", masks[i], r)
+	}
+}
+
+// TestGrowSharesPrefix verifies copy-on-extend economics: growing within
+// spare capacity does not reallocate, and the grown tail reads as zero.
+func TestGrowSharesPrefix(t *testing.T) {
+	b := New(100)
+	b.Set(99)
+	b.Grow(101)
+	if !b.Get(99) || b.Get(100) {
+		t.Error("Grow corrupted the boundary word")
+	}
+	if b.Count() != 1 {
+		t.Errorf("Count after Grow = %d, want 1", b.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Get":      func() { New(10).Get(10) },
+		"Set":      func() { New(10).Set(-1) },
+		"SetBools": func() { New(10).SetBools(8, make([]bool, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"runtime"
 
+	"repro/internal/bitset"
+	"repro/internal/explain"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/query"
 )
@@ -37,66 +40,110 @@ const minMaskShard = 256
 // one shard, not one worker's whole share of the log.
 const maskShardsPerWorker = 4
 
-// maskRanges splits [0, n) into at most workers*maskShardsPerWorker
-// near-equal contiguous ranges of at least minMaskShard rows each (except
-// that a log smaller than minMaskShard becomes one range). Concatenating
-// EvaluateRange over these ranges is byte-identical to a full Evaluate, per
-// the Template contract.
-func maskRanges(n, workers int) [][2]int {
-	if n == 0 {
+// alignedRanges splits [lo, n) into at most workers*maskShardsPerWorker
+// near-equal contiguous ranges of roughly minMaskShard rows or more (a span
+// smaller than minMaskShard becomes one range), with every *interior*
+// boundary a multiple of 64. Aligned boundaries make concurrent shards of
+// one packed mask write disjoint words: only the first range can start
+// mid-word (an extension resumes at the old watermark), and only that one
+// shard touches its boundary word. Concatenating EvaluateRange over these
+// ranges is byte-identical to one full EvaluateRange(lo, n), per the
+// Template contract.
+func alignedRanges(lo, n, workers int) [][2]int {
+	span := n - lo
+	if span <= 0 {
 		return nil
 	}
 	k := workers * maskShardsPerWorker
-	if maxShards := n / minMaskShard; k > maxShards {
+	if maxShards := span / minMaskShard; k > maxShards {
 		k = maxShards
 	}
 	if k < 1 {
 		k = 1
 	}
 	out := make([][2]int, 0, k)
-	for i := 0; i < k; i++ {
-		lo, hi := i*n/k, (i+1)*n/k
-		if lo < hi {
-			out = append(out, [2]int{lo, hi})
+	prev := lo
+	for i := 1; i <= k; i++ {
+		b := lo + i*span/k
+		if i < k {
+			b &^= 63 // word-align interior boundaries
+		} else {
+			b = n
+		}
+		if b > prev {
+			out = append(out, [2]int{prev, b})
+			prev = b
 		}
 	}
 	return out
 }
 
-// ensureMasks computes every template mask that is not yet cached and
-// returns the full mask slice in template order. Each missing template is
-// sharded *within* itself into per-worker log-row ranges (Template
-// EvaluateRange), and all shards of all missing templates feed one worker
-// pool — so a workload of two expensive templates scales across every core
-// instead of two. Path-backed templates compile once through the engine's
-// shared plan cache; the shards only pay classification. Workers poll ctx
-// between claimed shards, so a cancelled call stops after the in-flight
-// shards rather than draining the claim loop; it then returns ctx.Err()
-// without publishing partial masks. Concurrent callers may duplicate work
-// for a mask both are missing, but they converge on identical values, so
-// the cache stays consistent.
-func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([][]bool, error) {
+// maskTask describes bringing one template's packed mask up to date: bits
+// is the destination bitset (fresh, or a grown clone of the cached mask)
+// and lo the first log row to evaluate. The destination is private to the
+// task until publication, so shards write it without locks.
+type maskTask struct {
+	tpl  int
+	bits *bitset.Bits
+	lo   int
+}
+
+// ensureMasks brings every template mask up to date with the audited log
+// and returns the packed masks in template order. Three per-template
+// outcomes (counted in PlanCacheStats): a mask covering the whole log is
+// served as-is; a cached mask of an append-monotone template whose log has
+// grown is *extended* — cloned (a word-level copy), grown, and only the
+// appended row range [rows, n) evaluated, the O(new rows) incremental path;
+// anything else (no cached mask, or a template whose old rows appends can
+// reclassify, see explain.AppendMonotone) is built from row 0. Every stale
+// template is sharded *within* itself into word-aligned log-row ranges
+// (Template EvaluateRange), and all shards of all stale templates feed one
+// worker pool — so a workload of two expensive templates scales across
+// every core instead of two. Path-backed templates compile once through
+// the engine's shared plan cache; the shards only pay classification.
+// Workers poll ctx between claimed shards, so a cancelled call stops after
+// the in-flight shards rather than draining the claim loop; it then
+// returns ctx.Err() without publishing partial masks. Concurrent callers
+// may duplicate work for a mask both find stale, but they converge on
+// identical values, so the cache stays consistent.
+func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([]*bitset.Bits, error) {
+	n := a.ev.Log().NumRows()
+	hist := a.histVersion()
 	a.mu.Lock()
 	nt := len(a.templates)
-	var missing []int
+	var tasks []maskTask
 	for i := 0; i < nt; i++ {
-		if _, ok := a.masks[i]; !ok {
-			missing = append(missing, i)
+		e, ok := a.masks[i]
+		monotone := explain.AppendMonotone(a.templates[i])
+		switch {
+		// A non-monotone template's mask is also stale when the *history*
+		// log grew without the audited slice growing (a federation shard
+		// whose appends all routed elsewhere): new history rows can
+		// retroactively explain its old rows, so hist must match for the
+		// hit; monotone templates are immune to chronological history
+		// growth by definition.
+		case ok && e.rows == n && (monotone || e.hist == hist):
+			a.maskHits.Add(1)
+		case ok && e.rows < n && monotone:
+			bits := e.bits.Clone()
+			bits.Grow(n)
+			tasks = append(tasks, maskTask{tpl: i, bits: bits, lo: e.rows})
+			a.maskExtensions.Add(1)
+		default:
+			tasks = append(tasks, maskTask{tpl: i, bits: bitset.New(n), lo: 0})
+			a.maskRecomputes.Add(1)
 		}
 	}
 	a.mu.Unlock()
 
-	if len(missing) > 0 {
-		n := a.ev.Log().NumRows()
+	if len(tasks) > 0 {
 		workers := normalizeParallelism(parallelism)
 
-		computed := make(map[int][]bool, len(missing))
-		type shard struct{ tpl, lo, hi int }
+		type shard struct{ task, lo, hi int }
 		var shards []shard
-		for _, i := range missing {
-			computed[i] = make([]bool, n)
-			for _, rg := range maskRanges(n, workers) {
-				shards = append(shards, shard{tpl: i, lo: rg[0], hi: rg[1]})
+		for ti, tk := range tasks {
+			for _, rg := range alignedRanges(tk.lo, n, workers) {
+				shards = append(shards, shard{task: ti, lo: rg[0], hi: rg[1]})
 			}
 		}
 
@@ -106,24 +153,26 @@ func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([][]bool, e
 		}
 		parallel.ForEach(workers, len(shards), func() bool { return ctx.Err() != nil }, func(w, k int) {
 			s := shards[k]
-			// Shards of one template write disjoint sub-slices of its
-			// mask, so no lock is needed until publication below.
-			copy(computed[s.tpl][s.lo:s.hi], a.templates[s.tpl].EvaluateRange(cursors[w], s.lo, s.hi))
+			// Shards of one task cover word-disjoint ranges of its private
+			// bitset (interior boundaries are 64-aligned), so no lock is
+			// needed until publication below.
+			tk := tasks[s.task]
+			tk.bits.SetBools(s.lo, a.templates[tk.tpl].EvaluateRange(cursors[w], s.lo, s.hi))
 		})
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		a.mu.Lock()
-		for _, i := range missing {
-			a.masks[i] = computed[i]
+		for _, tk := range tasks {
+			a.masks[tk.tpl] = &maskEntry{bits: tk.bits, rows: n, hist: hist}
 		}
 		a.mu.Unlock()
 	}
 
-	out := make([][]bool, nt)
+	out := make([]*bitset.Bits, nt)
 	a.mu.Lock()
 	for i := 0; i < nt; i++ {
-		out[i] = a.masks[i]
+		out[i] = a.masks[i].bits
 	}
 	a.mu.Unlock()
 	return out, nil
@@ -151,79 +200,35 @@ func (a *Auditor) ExplainAll(ctx context.Context, parallelism int) []AccessRepor
 }
 
 // UnexplainedAccessesParallel is the concurrent counterpart of
-// UnexplainedAccesses: it computes the template masks with a worker pool,
-// then streams log-row shards through the same ordered pipeline as
-// StreamReports, collecting the rows no template explains (a mask-only scan
-// — no explanations are rendered, so it stays much cheaper than a full
-// report pass). The returned row indexes are in ascending order, identical
-// to the sequential result. It returns nil if ctx is cancelled first.
+// UnexplainedAccesses: the template masks are computed (or extended) with a
+// worker pool, ORed word-at-a-time into one packed union, and the zero bits
+// collected — a popcount-speed scan, no per-row template loop. The returned
+// row indexes are in ascending order, identical to the sequential result.
+// It returns nil if ctx is cancelled first.
 func (a *Auditor) UnexplainedAccessesParallel(ctx context.Context, parallelism int) []int {
 	masks, err := a.ensureMasks(ctx, parallelism)
 	if err != nil {
 		return nil
 	}
+	union := metrics.UnionBits(masks...)
 	n := a.ev.Log().NumRows()
 	var out []int
-	err = streamChunks(ctx, n, parallelism,
-		func(_, lo, hi int) []int {
-			var local []int
-			for r := lo; r < hi; r++ {
-				explained := false
-				for _, m := range masks {
-					if m[r] {
-						explained = true
-						break
-					}
-				}
-				if !explained {
-					local = append(local, r)
-				}
-			}
-			return local
-		},
-		func(chunk []int) error {
-			out = append(out, chunk...)
-			return nil
-		})
-	if err != nil {
-		return nil
+	for r := 0; r < n; r++ {
+		if union == nil || !union.Get(r) {
+			out = append(out, r)
+		}
 	}
 	return out
 }
 
 // ExplainedFractionParallel is the concurrent counterpart of
 // ExplainedFraction, computing the template masks with a worker pool and
-// streaming the union count over log-row shards. An empty log (or a cancelled
-// ctx, or an auditor with no templates) yields 0, never NaN.
+// the fraction by popcount over their packed union. An empty log (or a
+// cancelled ctx, or an auditor with no templates) yields 0, never NaN.
 func (a *Auditor) ExplainedFractionParallel(ctx context.Context, parallelism int) float64 {
 	masks, err := a.ensureMasks(ctx, parallelism)
 	if err != nil || len(masks) == 0 {
 		return 0
 	}
-	n := a.ev.Log().NumRows()
-	if n == 0 {
-		return 0
-	}
-	explained := 0
-	err = streamChunks(ctx, n, parallelism,
-		func(_, lo, hi int) int {
-			c := 0
-			for r := lo; r < hi; r++ {
-				for _, m := range masks {
-					if m[r] {
-						c++
-						break
-					}
-				}
-			}
-			return c
-		},
-		func(c int) error {
-			explained += c
-			return nil
-		})
-	if err != nil {
-		return 0
-	}
-	return float64(explained) / float64(n)
+	return metrics.FractionBits(metrics.UnionBits(masks...))
 }

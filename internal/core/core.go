@@ -24,11 +24,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/accesslog"
+	"repro/internal/bitset"
 	"repro/internal/explain"
 	"repro/internal/groups"
 	"repro/internal/metrics"
@@ -70,11 +73,52 @@ type Auditor struct {
 
 	templates []explain.Template
 
-	// mu guards masks. Stored mask slices are never mutated after being
-	// published, so they may be read outside the lock once retrieved.
+	// mu guards masks. A published maskEntry (and the packed bitset inside
+	// it) is never mutated — refreshes copy-on-extend and swap the entry —
+	// so entries may be read outside the lock once retrieved.
 	mu sync.Mutex
-	// masks caches Evaluate results per template index.
-	masks map[int][]bool
+	// masks caches each template's explained-rows mask, packed 64 rows to a
+	// word, together with the watermark of log rows it covers. When the
+	// audited log grows, an append-monotone template's mask is extended by
+	// evaluating only rows [rows, NumRows) (see ensureMasks); anything else
+	// is rebuilt from row 0.
+	masks map[int]*maskEntry
+
+	// Mask-cache outcome counters (see query.PlanCacheStats): masks served
+	// as-is, built from row 0, and extended over appended rows. Atomics so
+	// concurrent batch calls can count without widening mu's critical
+	// sections; concurrent callers racing to fill the same mask each count
+	// their own outcome.
+	maskHits, maskRecomputes, maskExtensions atomic.Int64
+}
+
+// maskEntry is one cached template mask: the packed explained-rows bitset,
+// the number of leading audited rows it covers, and the history-log append
+// version it was computed against. All are immutable once the entry is
+// published under mu.
+//
+// The two watermarks guard different staleness: rows tracks the *audited*
+// table (the rows being classified), hist the database's Log table (the
+// evidence history templates join against). For an ordinary auditor the two
+// are the same table, but a federation shard audits a slice while history
+// is the shared merged log — so a non-append-monotone template's mask must
+// be rebuilt when the history grew even if the shard received no new rows
+// (append-monotone templates are, by definition, immune to chronological
+// history growth and only ever need the rows extension).
+type maskEntry struct {
+	bits *bitset.Bits
+	rows int
+	hist uint64
+}
+
+// histVersion returns the append watermark of the history log — the
+// database's Log table, which templates join against — or 0 when the
+// database has none.
+func (a *Auditor) histVersion() uint64 {
+	if t := a.db.Table(pathmodel.LogTable); t != nil {
+		return t.AppendVersion()
+	}
+	return 0
 }
 
 // Option configures an Auditor.
@@ -107,7 +151,7 @@ func NewAuditor(db *relation.Database, graph *schemagraph.Graph, opts ...Option)
 		db:    db,
 		graph: graph,
 		namer: explain.NullNamer{},
-		masks: make(map[int][]bool),
+		masks: make(map[int]*maskEntry),
 	}
 	for _, o := range opts {
 		o(a)
@@ -166,11 +210,12 @@ func (a *Auditor) BuildGroups(opt GroupsOptions) *groups.Hierarchy {
 		opt.TableName = DefaultGroupsTable
 	}
 	h := groups.Train(trainLog, opt.MaxDepth)
-	a.db.AddTable(h.Table(opt.TableName))
-	// Rebinding is unnecessary (the evaluator holds the same *Database), but
-	// cached masks may predate the table; clear them. The evaluator's plan
-	// cache self-invalidates: AddTable bumped the database version.
-	a.ResetMaskCache()
+	// Rebinding is unnecessary (the evaluator holds the same *Database), and
+	// AddTable drops only the cached masks of templates that read the
+	// replaced table — templates over unrelated event tables keep theirs.
+	// The evaluator's plan cache self-invalidates: AddTable bumped the
+	// database schema version.
+	a.AddTable(h.Table(opt.TableName))
 	return h
 }
 
@@ -181,13 +226,61 @@ func (a *Auditor) BuildGroups(opt GroupsOptions) *groups.Hierarchy {
 // It requires the same exclusive access as the other configuration methods.
 func (a *Auditor) ResetMaskCache() {
 	a.mu.Lock()
-	a.masks = make(map[int][]bool)
+	a.masks = make(map[int]*maskEntry)
 	a.mu.Unlock()
+}
+
+// AddTable registers t in the auditor's database (replacing any table of
+// the same name) and drops only the cached template masks the change can
+// affect: masks of templates that read t's table, plus masks of template
+// types whose reads cannot be introspected. Registering a table no
+// template touches — a new event feed, say — keeps every cached mask, and
+// replacing the Groups table after re-clustering recomputes only the
+// group-template masks. Like the other configuration methods, AddTable
+// requires exclusive access.
+//
+// Replacing the Log table is NOT supported on a live auditor: the query
+// engine pins the audited table (and its column projections) at
+// construction, so a swapped-in Log would leave the auditor classifying
+// the old rows against the new history. AddTable defensively resets the
+// whole mask cache in that case, but the supported operation is building a
+// new Auditor over the changed database; to grow the log, Append to the
+// existing table and Refresh.
+func (a *Auditor) AddTable(t *relation.Table) {
+	a.db.AddTable(t)
+	a.invalidateMasksReading(t.Name())
+}
+
+// invalidateMasksReading drops the cached masks of every template that
+// (possibly) reads the named table.
+func (a *Auditor) invalidateMasksReading(table string) {
+	if table == pathmodel.LogTable {
+		// The audited rows themselves (or the history every template's
+		// classification is defined over) changed wholesale.
+		a.ResetMaskCache()
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.templates {
+		refs, ok := explain.TemplateTables(a.templates[i])
+		if !ok {
+			delete(a.masks, i) // unknown template type: assume it reads anything
+			continue
+		}
+		for _, r := range refs {
+			if r == table {
+				delete(a.masks, i)
+				break
+			}
+		}
+	}
 }
 
 // AddTemplates registers explanation templates. Templates are consulted in
 // registration order; explanations for one access are ranked by ascending
-// path length, as in §2.1.
+// path length, as in §2.1. Masks of previously registered templates stay
+// cached — the new templates' masks are computed lazily on first use.
 func (a *Auditor) AddTemplates(ts ...explain.Template) {
 	a.templates = append(a.templates, ts...)
 }
@@ -204,21 +297,59 @@ func (a *Auditor) MineTemplates(algo string, opt mine.Options) (mine.Result, err
 	return mine.Run(algo, a.ev, a.graph, opt)
 }
 
-// mask returns (computing on demand) the explained-rows mask of template i.
-// Computation uses the auditor's own cursor, so this is part of the
-// single-threaded API; the batch path precomputes masks via ensureMasks.
-func (a *Auditor) mask(i int) []bool {
+// mask returns (computing, or extending over appended log rows, on demand)
+// the packed explained-rows mask of template i. Computation uses the
+// auditor's own cursor, so this is part of the single-threaded API; the
+// batch path precomputes masks via ensureMasks with the same
+// extend-or-rebuild policy.
+func (a *Auditor) mask(i int) *bitset.Bits {
+	n := a.ev.Log().NumRows()
+	hist := a.histVersion()
 	a.mu.Lock()
-	if m, ok := a.masks[i]; ok {
-		a.mu.Unlock()
-		return m
+	e, ok := a.masks[i]
+	a.mu.Unlock()
+	monotone := explain.AppendMonotone(a.templates[i])
+	if ok && e.rows == n && (monotone || e.hist == hist) {
+		a.maskHits.Add(1)
+		return e.bits
 	}
-	a.mu.Unlock()
-	m := a.templates[i].Evaluate(a.ev)
+	var bits *bitset.Bits
+	lo := 0
+	if ok && e.rows < n && monotone {
+		bits = e.bits.Clone()
+		bits.Grow(n)
+		lo = e.rows
+		a.maskExtensions.Add(1)
+	} else {
+		bits = bitset.New(n)
+		a.maskRecomputes.Add(1)
+	}
+	bits.SetBools(lo, a.templates[i].EvaluateRange(a.ev, lo, n))
 	a.mu.Lock()
-	a.masks[i] = m
+	a.masks[i] = &maskEntry{bits: bits, rows: n, hist: hist}
 	a.mu.Unlock()
-	return m
+	return bits
+}
+
+// Refresh brings every cached template mask (and, transitively, the query
+// engine's log projections) up to date with rows appended to the audited
+// log since the masks were computed, evaluating only the appended suffix of
+// each append-monotone template — O(new rows), not O(log) — over a pool of
+// parallelism workers. Masks of templates that are not append-monotone (see
+// explain.AppendMonotone) are rebuilt in the same pass, and templates with
+// no cached mask are computed in full, so after Refresh every mask covers
+// the whole log. The batch methods refresh lazily through the same policy;
+// Refresh exists to pay the cost at a chosen time (an ingest tick) and is
+// safe to call concurrently with them.
+//
+// Appended rows must follow the access-log contract the incremental
+// differential tests pin down: they sort after every pre-existing row by
+// (Date, Lid) and carry increasing Lids, which is what an append-only
+// chronological log produces. Destructive changes (table replacement)
+// instead go through AddTable/ResetMaskCache.
+func (a *Auditor) Refresh(ctx context.Context, parallelism int) error {
+	_, err := a.ensureMasks(ctx, parallelism)
+	return err
 }
 
 // Explanation is one rendered explanation for one access.
@@ -252,7 +383,7 @@ func (a *Auditor) ExplainRow(row int, maxPerTemplate int) AccessReport {
 // and mask source. It is the single code path behind both ExplainRow and the
 // batch workers of ExplainAll, which is what guarantees the two APIs return
 // byte-for-byte identical reports.
-func (a *Auditor) explainRowWith(ev *query.Evaluator, maskOf func(int) []bool, row, maxPerTemplate int) AccessReport {
+func (a *Auditor) explainRowWith(ev *query.Evaluator, maskOf func(int) *bitset.Bits, row, maxPerTemplate int) AccessReport {
 	log := ev.Log()
 	if maxPerTemplate <= 0 {
 		maxPerTemplate = 3
@@ -265,7 +396,7 @@ func (a *Auditor) explainRowWith(ev *query.Evaluator, maskOf func(int) []bool, r
 	}
 	rep.UserName = a.namer.UserName(rep.User)
 	for i, t := range a.templates {
-		if !maskOf(i)[row] {
+		if !maskOf(i).Get(row) {
 			continue
 		}
 		for _, text := range t.Render(ev, row, maxPerTemplate, a.namer) {
@@ -297,25 +428,26 @@ func (a *Auditor) PatientReport(patient relation.Value, maxPerTemplate int) []Ac
 	return out
 }
 
+// unionMask ORs every template mask into one packed "explained by anything"
+// mask (nil when no templates are registered), computing or extending the
+// per-template masks on the auditor's own cursor.
+func (a *Auditor) unionMask() *bitset.Bits {
+	masks := make([]*bitset.Bits, len(a.templates))
+	for i := range a.templates {
+		masks[i] = a.mask(i)
+	}
+	return metrics.UnionBits(masks...)
+}
+
 // UnexplainedAccesses returns the log rows no registered template explains —
 // the paper's misuse-detection shortlist. The returned slice holds row
 // indexes into the auditor's log.
 func (a *Auditor) UnexplainedAccesses() []int {
-	masks := make([][]bool, len(a.templates))
-	for i := range a.templates {
-		masks[i] = a.mask(i)
-	}
+	union := a.unionMask()
 	var out []int
 	n := a.ev.Log().NumRows()
 	for r := 0; r < n; r++ {
-		explained := false
-		for _, m := range masks {
-			if m[r] {
-				explained = true
-				break
-			}
-		}
-		if !explained {
+		if union == nil || !union.Get(r) {
 			out = append(out, r)
 		}
 	}
@@ -323,16 +455,23 @@ func (a *Auditor) UnexplainedAccesses() []int {
 }
 
 // ExplainedFraction returns the fraction of log rows explained by the
-// registered templates (the paper's headline ">94% of accesses" number).
+// registered templates (the paper's headline ">94% of accesses" number),
+// by popcount over the packed union mask.
 func (a *Auditor) ExplainedFraction() float64 {
-	masks := make([][]bool, len(a.templates))
-	for i := range a.templates {
-		masks[i] = a.mask(i)
-	}
-	if len(masks) == 0 {
-		return 0
-	}
-	return metrics.Fraction(metrics.Union(masks...))
+	return metrics.FractionBits(a.unionMask())
+}
+
+// PlanCacheStats returns the query engine's plan-cache counters with the
+// auditor's template-mask cache outcomes filled in: MaskHits (masks served
+// as-is), MaskRecomputes (masks built or rebuilt from row 0), and
+// MaskExtensions (masks extended over appended log rows). One struct so
+// single-engine and federated displays aggregate the same way.
+func (a *Auditor) PlanCacheStats() query.PlanCacheStats {
+	st := a.ev.PlanCacheStats()
+	st.MaskHits = a.maskHits.Load()
+	st.MaskRecomputes = a.maskRecomputes.Load()
+	st.MaskExtensions = a.maskExtensions.Load()
+	return st
 }
 
 // Summary returns a one-paragraph description of the auditor state for CLI

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"iter"
 
+	"repro/internal/bitset"
 	"repro/internal/parallel"
 	"repro/internal/query"
 )
@@ -59,7 +60,7 @@ func (a *Auditor) StreamReports(ctx context.Context, parallelism int, fn func(Ac
 	if err != nil {
 		return err
 	}
-	maskOf := func(i int) []bool { return masks[i] }
+	maskOf := func(i int) *bitset.Bits { return masks[i] }
 
 	n := a.ev.Log().NumRows()
 	workers := normalizeParallelism(parallelism)

@@ -1,0 +1,119 @@
+package explain_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/pathmodel"
+	"repro/internal/query"
+	"repro/internal/schemagraph"
+)
+
+// TestTemplateTables pins the introspection the auditor's targeted mask
+// invalidation relies on: path templates report their event and bridge
+// tables, RepeatAccess reports the Log, and unknown template types report
+// not-ok.
+func TestTemplateTables(t *testing.T) {
+	cat := explain.Handcrafted(true, true)
+
+	refs := func(tpl explain.Template) []string {
+		t.Helper()
+		out, ok := explain.TemplateTables(tpl)
+		if !ok {
+			t.Fatalf("catalog template %s not introspectable", tpl.Name())
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	got := refs(cat.SetAWithDr[0]) // appt-with-dr: Appointments via UserMapping
+	if want := []string{"Appointments", "UserMapping"}; !equalStrings(got, want) {
+		t.Errorf("appt-with-dr tables = %v, want %v", got, want)
+	}
+	got = refs(cat.RepeatAccess)
+	if want := []string{pathmodel.LogTable}; !equalStrings(got, want) {
+		t.Errorf("repeat-access tables = %v, want %v", got, want)
+	}
+	got = refs(cat.GroupLen4A[0])
+	foundGroups := false
+	for _, n := range got {
+		if n == "Groups" {
+			foundGroups = true
+		}
+	}
+	if !foundGroups {
+		t.Errorf("group template tables = %v, want to include Groups", got)
+	}
+
+	if _, ok := explain.TemplateTables(opaqueTemplate{}); ok {
+		t.Error("unknown template type reported introspectable")
+	}
+}
+
+// TestAppendMonotone pins the extend-vs-rebuild classification: the whole
+// hand-crafted catalog is append-monotone (event-table paths, the temporal
+// repeat-access, and the Lid-guarded decorated repeat-access), while an
+// unguarded Log self-join path — where a future access can retroactively
+// explain a past one — and unknown template types are not.
+func TestAppendMonotone(t *testing.T) {
+	for _, tpl := range explain.Handcrafted(true, true).All() {
+		if !explain.AppendMonotone(tpl) {
+			t.Errorf("catalog template %s not append-monotone", tpl.Name())
+		}
+	}
+	if !explain.AppendMonotone(explain.DecoratedRepeatAccess()) {
+		t.Error("decorated repeat-access (Lid-guarded Log self-join) should be append-monotone")
+	}
+
+	// The same self-join base without the temporal decoration is the
+	// counterexample: both as a bare path template and as a decorated
+	// template with an unrelated decoration.
+	start := pathmodel.StartAttr()
+	end := pathmodel.EndAttr()
+	base, ok := pathmodel.Start(schemagraph.Edge{From: start, To: start, Kind: schemagraph.SelfJoin})
+	if !ok {
+		t.Fatal("building self-join path")
+	}
+	base, ok = base.Append(schemagraph.Edge{From: end, To: end, Kind: schemagraph.SelfJoin})
+	if !ok {
+		t.Fatal("closing self-join path")
+	}
+	if explain.AppendMonotone(explain.NewPathTemplate("any-access", base, "")) {
+		t.Error("unguarded Log self-join path should not be append-monotone")
+	}
+	undated := pathmodel.NewDecoratedPath(base, pathmodel.Decoration{
+		Left:  pathmodel.Ref{Inst: 1, Col: pathmodel.LogDateColumn},
+		Op:    pathmodel.OpLE,
+		Right: pathmodel.Ref{Inst: 0, Col: pathmodel.LogDateColumn},
+	})
+	if explain.AppendMonotone(explain.NewDecoratedTemplate("same-day", undated, "")) {
+		t.Error("Log self-join without a strict Lid guard should not be append-monotone")
+	}
+
+	if explain.AppendMonotone(opaqueTemplate{}) {
+		t.Error("unknown template type should not be append-monotone")
+	}
+}
+
+// opaqueTemplate is an un-introspectable Template implementation.
+type opaqueTemplate struct{}
+
+func (opaqueTemplate) Name() string                                              { return "opaque" }
+func (opaqueTemplate) Length() int                                               { return 1 }
+func (opaqueTemplate) SQL() string                                               { return "" }
+func (opaqueTemplate) Evaluate(ev *query.Evaluator) []bool                       { return nil }
+func (opaqueTemplate) EvaluateRange(ev *query.Evaluator, lo, hi int) []bool      { return nil }
+func (opaqueTemplate) Render(*query.Evaluator, int, int, explain.Namer) []string { return nil }
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

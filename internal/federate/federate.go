@@ -95,6 +95,13 @@ type Federation struct {
 	// estimates (and the support threshold), so federated skip decisions
 	// replay the single-engine ones exactly.
 	estimEv *query.Evaluator
+	// assign is the Split shard key, retained so Refresh can route rows
+	// appended to the merged log to their shards; nil for Join federations,
+	// whose merged log is a constructed concatenation with no append path.
+	assign func(row int) int
+	// consumed is the number of merged-log rows already distributed to the
+	// shards — Refresh's append watermark.
+	consumed int
 	// hier is the collaborative-group hierarchy trained on the merged log,
 	// or nil when the federation reused an existing Groups table (Split over
 	// an already-configured database) or was built WithoutGroups.
@@ -242,6 +249,8 @@ func Split(db *relation.Database, graph *schemagraph.Graph, k int, assign func(r
 		})
 	}
 	f.estimEv = query.NewEvaluator(db)
+	f.assign = assign
+	f.consumed = log.NumRows()
 	return f, nil
 }
 
@@ -307,7 +316,90 @@ func Join(dbs []*relation.Database, graph *schemagraph.Graph, opts ...Option) (*
 		})
 	}
 	f.estimEv = query.NewEvaluator(f.shards[0].db)
+	f.consumed = merged.NumRows()
 	return f, nil
+}
+
+// Refresh folds rows appended to the merged log since construction (or the
+// previous Refresh) into the federation: each new row is routed to its
+// shard by the Split assignment, appended to that shard's audited slice
+// with its global position recorded, and every shard auditor then refreshes
+// its cached template masks incrementally (core.Auditor.Refresh — shards
+// refresh independently, each evaluating only its own appended suffix).
+// It returns the number of rows folded in. Appended rows must follow the
+// chronological contract of core.Auditor.Refresh: strictly later (Date,
+// Lid) than every pre-existing row. Refresh requires the same exclusive
+// access as the other configuration methods (it mutates the shard slices).
+//
+// Only Split federations support Refresh: a Join's merged log is a
+// concatenation the federation itself built, so there is no external
+// append path to observe — rebuild the Join with the grown shard logs
+// instead.
+func (f *Federation) Refresh(ctx context.Context, parallelism int) (int, error) {
+	n := f.merged.NumRows()
+	if n > f.consumed && f.assign == nil {
+		return 0, errors.New("federate: Refresh requires a Split federation (Join merged logs have no append path)")
+	}
+	k := len(f.shards)
+	// Validate every assignment before mutating any shard: a bad shard key
+	// must leave the federation exactly as it was, so a corrected retry
+	// cannot re-append rows a failed attempt already distributed.
+	targets := make([]int, 0, n-f.consumed)
+	for r := f.consumed; r < n; r++ {
+		s := f.assign(r)
+		if s < 0 || s >= k {
+			return 0, fmt.Errorf("federate: assignment sent appended row %d to shard %d, want [0, %d)", r, s, k)
+		}
+		targets = append(targets, s)
+	}
+	for i, s := range targets {
+		r := f.consumed + i
+		sh := f.shards[s]
+		sh.audited.Append(f.merged.Row(r)...)
+		sh.global = append(sh.global, r)
+	}
+	appended := n - f.consumed
+	f.consumed = n
+	for _, sh := range f.shards {
+		if err := sh.auditor.Refresh(ctx, parallelism); err != nil {
+			return appended, err
+		}
+	}
+	return appended, nil
+}
+
+// TailReports builds the report for every merged-log row at global position
+// >= fromGlobal, in global order, handing each to fn — the primitive behind
+// follow-mode auditing, where only the rows appended since the last emission
+// need reports. Shard-local rows are resolved through each shard's global
+// mapping (ascending, so the tail of each mapping suffices) and rendered
+// with the same code path as StreamReports, so a TailReports over rows
+// [g, end) emits exactly the suffix of the full stream.
+func (f *Federation) TailReports(ctx context.Context, fromGlobal int, fn func(core.AccessReport) error) error {
+	type pending struct {
+		sh    *shard
+		local int
+	}
+	var tail []pending
+	for _, sh := range f.shards {
+		// sh.global is ascending; find the first position >= fromGlobal.
+		lo := sort.Search(len(sh.global), func(i int) bool { return sh.global[i] >= fromGlobal })
+		for r := lo; r < len(sh.global); r++ {
+			tail = append(tail, pending{sh: sh, local: r})
+		}
+	}
+	sort.Slice(tail, func(i, j int) bool {
+		return tail[i].sh.global[tail[i].local] < tail[j].sh.global[tail[j].local]
+	})
+	for _, p := range tail {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := fn(p.sh.auditor.ExplainRow(p.local, 0)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NumShards returns the number of member engines.
@@ -543,7 +635,7 @@ func (f *Federation) Summary() string {
 }
 
 // ShardInfo is one shard's display state: its name, audited row count, and
-// engine-level plan-cache counters.
+// engine-level plan-cache plus mask-cache counters.
 type ShardInfo struct {
 	Name  string
 	Rows  int
@@ -554,19 +646,19 @@ type ShardInfo struct {
 func (f *Federation) ShardInfos() []ShardInfo {
 	out := make([]ShardInfo, len(f.shards))
 	for i, sh := range f.shards {
-		out[i] = ShardInfo{Name: sh.name, Rows: sh.audited.NumRows(), Stats: sh.auditor.Evaluator().PlanCacheStats()}
+		out[i] = ShardInfo{Name: sh.name, Rows: sh.audited.NumRows(), Stats: sh.auditor.PlanCacheStats()}
 	}
 	return out
 }
 
-// PlanCacheStats aggregates the plan-cache counters of every shard engine
-// (the coordinator's estimate-only evaluator holds no plans and is
-// excluded). ReachCap is -1 if the shards are configured with differing
-// caps; see query.PlanCacheStats.Add.
+// PlanCacheStats aggregates the plan-cache and template-mask counters of
+// every shard engine (the coordinator's estimate-only evaluator holds no
+// plans and is excluded). ReachCap is -1 if the shards are configured with
+// differing caps; see query.PlanCacheStats.Add.
 func (f *Federation) PlanCacheStats() query.PlanCacheStats {
-	agg := f.shards[0].auditor.Evaluator().PlanCacheStats()
+	agg := f.shards[0].auditor.PlanCacheStats()
 	for _, sh := range f.shards[1:] {
-		agg = agg.Add(sh.auditor.Evaluator().PlanCacheStats())
+		agg = agg.Add(sh.auditor.PlanCacheStats())
 	}
 	return agg
 }

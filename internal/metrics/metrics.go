@@ -6,7 +6,16 @@
 //
 // All three operate on per-row explanation masks over a combined real+fake
 // log, so templates are evaluated once and scored many ways.
+//
+// Masks come in two representations: the element-wise []bool form the
+// experiment figures consume, and the packed bitset.Bits form the batch
+// auditing engine caches (8x smaller, word-speed combinators). The *Bits
+// variants (UnionBits, FractionBits, FractionWhereBits) compute the same
+// numbers as their []bool counterparts — both divide identical integer
+// counts — so callers can pick the representation without changing results.
 package metrics
+
+import "repro/internal/bitset"
 
 // PR bundles precision, recall, and normalized recall for one template or
 // template set.
@@ -90,6 +99,40 @@ func Fraction(mask []bool) float64 {
 		}
 	}
 	return float64(n) / float64(len(mask))
+}
+
+// UnionBits is the packed-mask form of Union: the word-level OR of the
+// given masks (nil for none), each zero-extended to the longest length.
+func UnionBits(masks ...*bitset.Bits) *bitset.Bits {
+	return bitset.Union(masks...)
+}
+
+// FractionBits is the packed-mask form of Fraction: the fraction of set
+// bits, by popcount. A nil or empty mask yields 0.
+func FractionBits(mask *bitset.Bits) float64 {
+	if mask == nil || mask.Len() == 0 {
+		return 0
+	}
+	return float64(mask.Count()) / float64(mask.Len())
+}
+
+// FractionWhereBits is the packed-mask form of FractionWhere: among the
+// rows set in cond, the fraction also set in mask, computed with one AND +
+// popcount pass instead of an element-wise scan. The masks must have equal
+// length.
+func FractionWhereBits(mask, cond *bitset.Bits) float64 {
+	if mask.Len() != cond.Len() {
+		panic("metrics: mask length mismatch in FractionWhereBits")
+	}
+	d := cond.Count()
+	if d == 0 {
+		return 0
+	}
+	// mask AND cond == cond AND-NOT (NOT mask); cheaper to compute as
+	// cond.Count() - (cond AND-NOT mask).Count() on a clone.
+	sel := cond.Clone()
+	sel.AndNot(mask)
+	return float64(d-sel.Count()) / float64(d)
 }
 
 // FractionWhere returns the fraction of rows selected by cond that are also

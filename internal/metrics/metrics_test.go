@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bitset"
 	"repro/internal/metrics"
 )
 
@@ -122,4 +123,43 @@ func TestComputeBoundsProperty(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestBitsVariantsMatchBoolVariants: the packed-mask metrics must compute
+// exactly the numbers of their []bool counterparts on random masks — both
+// divide the same integer counts, so equality is exact, not approximate.
+func TestBitsVariantsMatchBoolVariants(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(200)
+		nm := 1 + r.Intn(4)
+		bools := make([][]bool, nm)
+		packed := make([]*bitset.Bits, nm)
+		for i := range bools {
+			bools[i] = make([]bool, n)
+			for j := range bools[i] {
+				bools[i][j] = r.Intn(3) == 0
+			}
+			packed[i] = bitset.FromBools(bools[i])
+		}
+		wantUnion := metrics.Union(bools...)
+		gotUnion := metrics.UnionBits(packed...)
+		for j, w := range wantUnion {
+			if gotUnion.Get(j) != w {
+				t.Fatalf("trial %d: UnionBits bit %d = %v, want %v", trial, j, gotUnion.Get(j), w)
+			}
+		}
+		if got, want := metrics.FractionBits(gotUnion), metrics.Fraction(wantUnion); got != want {
+			t.Fatalf("trial %d: FractionBits = %v, want %v", trial, got, want)
+		}
+		if got, want := metrics.FractionWhereBits(packed[0], gotUnion), metrics.FractionWhere(bools[0], wantUnion); got != want {
+			t.Fatalf("trial %d: FractionWhereBits = %v, want %v", trial, got, want)
+		}
+	}
+	if metrics.FractionBits(nil) != 0 {
+		t.Error("FractionBits(nil) != 0")
+	}
+	assertPanics(t, func() {
+		metrics.FractionWhereBits(bitset.New(3), bitset.New(4))
+	})
 }

@@ -63,14 +63,34 @@ type engine struct {
 	db  *relation.Database
 	log *relation.Table
 
-	logPatients []relation.Value
-	logUsers    []relation.Value
+	// logPatientIdx and logUserIdx are the audited log's Patient and User
+	// column positions, immutable after construction.
+	logPatientIdx int
+	logUserIdx    int
+
+	// proj is the per-row start/end column snapshot (one entry per audited
+	// row), published atomically so it can be *extended* when the log grows:
+	// projections reads the log's AppendVersion and, on a mismatch, appends
+	// the new rows' values and swaps in a fresh header under projMu. Readers
+	// holding an older snapshot see a clean prefix — appended rows only ever
+	// land beyond their length — which is what makes query evaluation
+	// append-aware without a rebuild. projVersion is the AppendVersion the
+	// current snapshot covers; it is stored after proj so a reader that
+	// observes the new version also observes the new snapshot.
+	proj        atomic.Pointer[logProj]
+	projVersion atomic.Uint64
+	projMu      sync.Mutex
 
 	// planMu guards plans and planVersion. plans caches compiled plans by
-	// canonical condition key; planVersion is the database mutation version
-	// the cache was built against, and a mismatch drops the whole cache (see
-	// planEntry). Hit/miss counters are engine-wide atomics shared by all
-	// cursors.
+	// canonical condition key; planVersion is the database *schema* version
+	// (relation.Database.SchemaVersion) the cache was built against, and a
+	// mismatch drops the whole cache (see planEntry) — AddTable may have
+	// swapped any table wholesale. Pure appends do not touch the schema
+	// version; they are detected per entry through the compiled plan's table
+	// dependencies (cachedPlan.deps), so appending log rows leaves every
+	// plan that does not read the appended table — with its feasible-start
+	// set and reach memo — intact. Hit/miss counters are engine-wide atomics
+	// shared by all cursors.
 	planMu      sync.RWMutex
 	plans       map[string]*cachedPlan
 	planVersion uint64
@@ -116,7 +136,7 @@ func NewEvaluator(db *relation.Database) *Evaluator {
 // match itself in the test set.
 func NewEvaluatorWithLog(db *relation.Database, audited *relation.Table) *Evaluator {
 	log := audited
-	eng := &engine{db: db, log: log, plans: make(map[string]*cachedPlan), planVersion: db.Version()}
+	eng := &engine{db: db, log: log, plans: make(map[string]*cachedPlan), planVersion: db.SchemaVersion()}
 	pi, ok := log.ColumnIndex(pathmodel.LogPatientColumn)
 	if !ok {
 		panic("query: Log table lacks Patient column")
@@ -125,16 +145,59 @@ func NewEvaluatorWithLog(db *relation.Database, audited *relation.Table) *Evalua
 	if !ok {
 		panic("query: Log table lacks User column")
 	}
+	eng.logPatientIdx, eng.logUserIdx = pi, ui
 	n := log.NumRows()
-	eng.logPatients = make([]relation.Value, n)
-	eng.logUsers = make([]relation.Value, n)
-	for r := 0; r < n; r++ {
-		row := log.Row(r)
-		eng.logPatients[r] = row[pi]
-		eng.logUsers[r] = row[ui]
+	pr := &logProj{
+		patients: make([]relation.Value, 0, n),
+		users:    make([]relation.Value, 0, n),
 	}
+	appendProjRows(eng, pr, n)
+	eng.proj.Store(pr)
+	eng.projVersion.Store(log.AppendVersion())
 	eng.reachCap.Store(int64(defaultReachMemoCap(n)))
 	return &Evaluator{engine: eng}
+}
+
+// logProj is one immutable-prefix snapshot of the audited log's start/end
+// column projections: patients[r] and users[r] for every row the snapshot
+// covers. Snapshots are extended, never rewritten — see engine.proj.
+type logProj struct {
+	patients, users []relation.Value
+}
+
+// appendProjRows extends pr with log rows [len(pr.patients), n).
+func appendProjRows(eng *engine, pr *logProj, n int) {
+	for r := len(pr.patients); r < n; r++ {
+		row := eng.log.Row(r)
+		pr.patients = append(pr.patients, row[eng.logPatientIdx])
+		pr.users = append(pr.users, row[eng.logUserIdx])
+	}
+}
+
+// projections returns the engine's log-column snapshot, first extending it
+// to cover rows appended to the audited log since the snapshot was built.
+// The fast path is one atomic version compare; extension runs under projMu
+// and appends only the new suffix (an in-place append is safe for
+// concurrent readers of the old header, whose length excludes the new
+// slots), so every query entry point is append-aware at O(new rows) cost.
+// Like all query evaluation, it must not race with the Append itself — the
+// relation.Table contract already forbids interleaving appends with reads.
+func (eng *engine) projections() *logProj {
+	if eng.projVersion.Load() == eng.log.AppendVersion() {
+		return eng.proj.Load()
+	}
+	eng.projMu.Lock()
+	defer eng.projMu.Unlock()
+	v := eng.log.AppendVersion()
+	if eng.projVersion.Load() == v {
+		return eng.proj.Load()
+	}
+	old := eng.proj.Load()
+	next := &logProj{patients: old.patients, users: old.users}
+	appendProjRows(eng, next, eng.log.NumRows())
+	eng.proj.Store(next)
+	eng.projVersion.Store(v)
+	return next
 }
 
 // defaultReachMemoCap sizes the per-plan reach-memo bound off the audited
@@ -351,10 +414,11 @@ func (ev *Evaluator) Support(p pathmodel.Path) int {
 // direction: (patients, users) for forward paths, (users, patients) for
 // backward paths.
 func (ev *Evaluator) orient(p pathmodel.Path) (starts, ends []relation.Value) {
+	pr := ev.projections()
 	if p.Forward() {
-		return ev.logPatients, ev.logUsers
+		return pr.patients, pr.users
 	}
-	return ev.logUsers, ev.logPatients
+	return pr.users, pr.patients
 }
 
 // ExplainedRows returns, for a closed path, a boolean per log row indicating
@@ -458,8 +522,9 @@ func (ev *Evaluator) Instances(p pathmodel.Path, logRow, limit int) []InstanceBi
 	}
 	insts := p.Instances()
 	conds := p.Conds()
-	patient := ev.logPatients[logRow]
-	user := ev.logUsers[logRow]
+	pr := ev.projections()
+	patient := pr.patients[logRow]
+	user := pr.users[logRow]
 
 	var out []InstanceBinding
 	rows := make([]int, 0, len(insts)-1)

@@ -33,15 +33,61 @@ type Prepared struct {
 // is looked up in (and installed into) the engine's shared plan cache keyed
 // by the path's canonical condition key, so repeated Prepare calls — from
 // this cursor or any clone — do not recompile, and two paths imposing the
-// same condition set share one plan. The cache is invalidated as a whole
-// when the database reports a new mutation version (relation.Database.Version).
+// same condition set share one plan.
+//
+// Invalidation is append-aware and two-tier: a schema mutation
+// (relation.Database.SchemaVersion — AddTable, including replacement)
+// drops the whole cache, while row appends invalidate only the entries
+// whose compiled plans snapshotted the appended table (each entry records
+// the version of every table it read at compile time). Appending audited
+// log rows therefore costs nothing here: plans, feasible-start sets, and
+// reach memos all survive, and only the log-column projections extend.
+// Callers holding a *Prepared across a mutation should re-Prepare — the
+// handle pins its compile-time snapshot.
 func (ev *Evaluator) Prepare(p pathmodel.Path) *Prepared {
-	ent := ev.engine.planEntry(p.CanonicalKey())
-	ent.compileOnce.Do(func() {
-		ent.pl = ev.compile(p)
-		ent.forward = p.Forward()
-	})
-	return &Prepared{ev: ev, path: p, ent: ent}
+	key := p.CanonicalKey()
+	for {
+		ent := ev.engine.planEntry(key)
+		ent.compileOnce.Do(func() {
+			ent.pl = ev.compile(p)
+			ent.forward = p.Forward()
+			// Record the version of every table the compilation read. The
+			// table contract forbids concurrent appends, so these are the
+			// versions the snapshotted indexes and projections reflect.
+			ent.deps = ev.planDeps(p)
+		})
+		if ent.fresh() {
+			return &Prepared{ev: ev, path: p, ent: ent}
+		}
+		// A dependency grew since this entry was compiled: its snapshotted
+		// indexes are stale. Drop it and recompile against current rows.
+		ev.engine.dropPlan(key, ent)
+	}
+}
+
+// planDeps snapshots the current version of every table the compiled plan
+// for p reads (bridge tables and right-hand instances; instance 0 is the
+// audited log, which plans never snapshot — per-row log values flow in
+// through the engine's extendable projections instead).
+func (ev *Evaluator) planDeps(p pathmodel.Path) []planDep {
+	insts := p.Instances()
+	seen := make(map[*relation.Table]bool)
+	var deps []planDep
+	add := func(t *relation.Table) {
+		if !seen[t] {
+			seen[t] = true
+			deps = append(deps, planDep{table: t, version: t.Version()})
+		}
+	}
+	for _, c := range p.Conds() {
+		if c.Via != nil {
+			add(ev.db.MustTable(c.Via.Table))
+		}
+		if c.RightInst != 0 {
+			add(ev.db.MustTable(insts[c.RightInst].Table))
+		}
+	}
+	return deps
 }
 
 // Path returns the path the handle was prepared from.
@@ -55,12 +101,14 @@ func (pp *Prepared) Closed() bool { return pp.ent.pl.closed }
 // differ in orientation (a closed path and its reverse impose the same
 // condition set); the plan's own orientation is the one its ops expect, and
 // the explained/connected row set is orientation-invariant, so results are
-// identical either way.
+// identical either way. The snapshot covers every audited row, including
+// ones appended after the handle was prepared (see engine.projections).
 func (pp *Prepared) orient() (starts, ends []relation.Value) {
+	pr := pp.ev.projections()
 	if pp.ent.forward {
-		return pp.ev.logPatients, pp.ev.logUsers
+		return pr.patients, pr.users
 	}
-	return pp.ev.logUsers, pp.ev.logPatients
+	return pr.users, pr.patients
 }
 
 // feasible returns the open plan's feasible-start set, computing it once per
@@ -72,9 +120,9 @@ func (pp *Prepared) feasible() valueSet {
 
 // checkRange validates a half-open row range against the audited log.
 func (pp *Prepared) checkRange(lo, hi int) {
-	if lo < 0 || hi < lo || hi > len(pp.ev.logPatients) {
+	if n := len(pp.ev.projections().patients); lo < 0 || hi < lo || hi > n {
 		panic(fmt.Sprintf("query: range [%d, %d) out of bounds for %d log rows",
-			lo, hi, len(pp.ev.logPatients)))
+			lo, hi, n))
 	}
 }
 
@@ -114,7 +162,7 @@ func (pp *Prepared) Support() int {
 // ExplainedRows returns one boolean per log row: whether the closed path
 // explains that access. It panics on open paths.
 func (pp *Prepared) ExplainedRows() []bool {
-	return pp.ExplainedRange(0, len(pp.ev.logPatients))
+	return pp.ExplainedRange(0, len(pp.ev.projections().patients))
 }
 
 // ExplainedRange evaluates the closed path over the half-open log-row range
@@ -146,7 +194,7 @@ func (pp *Prepared) ExplainedRange(lo, hi int) []bool {
 // ConnectedRows returns one boolean per log row: whether the open path's
 // start value can begin a satisfiable chain. It panics on closed paths.
 func (pp *Prepared) ConnectedRows() []bool {
-	return pp.ConnectedRange(0, len(pp.ev.logPatients))
+	return pp.ConnectedRange(0, len(pp.ev.projections().patients))
 }
 
 // ConnectedRange is the range form of ConnectedRows over [lo, hi): element i
@@ -185,6 +233,17 @@ type cachedPlan struct {
 	pl          plan
 	forward     bool
 
+	// deps records, per table the compilation read, the table's version at
+	// compile time (written inside compileOnce, so visible to every
+	// goroutine that has passed the Once). A mismatch with the table's
+	// current version means the plan's snapshotted indexes and DISTINCT
+	// projections are stale; Prepare then drops this entry alone. Plans
+	// whose dependencies did not change — in particular every plan during a
+	// pure audited-log append — stay cached along with their feasible-start
+	// sets and reach memos, which is what makes incremental auditing O(new
+	// rows) rather than O(recompile + re-propagate).
+	deps []planDep
+
 	// feas memoizes the open plan's backward feasible-start set; reach
 	// memoizes forward propagation for closed plans (start value ->
 	// reachable end-value set). Both are shared by every cursor and shard,
@@ -208,11 +267,42 @@ type cachedPlan struct {
 	reach    *reachCache
 }
 
+// planDep is one compile-time table dependency of a cached plan.
+type planDep struct {
+	table   *relation.Table
+	version uint64
+}
+
+// fresh reports whether every table the plan snapshotted is unchanged. It
+// must only be called after compileOnce has completed.
+func (ent *cachedPlan) fresh() bool {
+	for _, d := range ent.deps {
+		if d.table.Version() != d.version {
+			return false
+		}
+	}
+	return true
+}
+
+// dropPlan removes ent from the cache if it is still the resident entry for
+// key, so the next lookup installs a fresh entry and recompiles. Concurrent
+// droppers are idempotent; a racing Prepare that re-installed a newer entry
+// under the same key is left alone.
+func (eng *engine) dropPlan(key string, ent *cachedPlan) {
+	eng.planMu.Lock()
+	if eng.plans[key] == ent {
+		delete(eng.plans, key)
+	}
+	eng.planMu.Unlock()
+}
+
 // planEntry returns the cache entry for key, creating it if absent. The
-// cache is dropped wholesale when the database's mutation version no longer
-// matches the version the cache was built against.
+// cache is dropped wholesale when the database's schema version no longer
+// matches the version the cache was built against (a table may have been
+// replaced); per-table appends are handled entry-by-entry in Prepare via
+// the compile-time dependency versions.
 func (eng *engine) planEntry(key string) *cachedPlan {
-	v := eng.db.Version()
+	v := eng.db.SchemaVersion()
 	eng.planMu.RLock()
 	if eng.planVersion == v {
 		if ent, ok := eng.plans[key]; ok {
@@ -248,7 +338,7 @@ func (ev *Evaluator) InvalidatePlans() {
 	eng := ev.engine
 	eng.planMu.Lock()
 	eng.plans = make(map[string]*cachedPlan)
-	eng.planVersion = eng.db.Version()
+	eng.planVersion = eng.db.SchemaVersion()
 	eng.planMu.Unlock()
 }
 
@@ -269,6 +359,15 @@ type PlanCacheStats struct {
 	// ReachCap is the configured per-plan bound (0 = unbounded); see
 	// SetReachMemoCap.
 	ReachCap int
+
+	// MaskHits, MaskRecomputes, and MaskExtensions count the auditing
+	// layer's template-mask cache outcomes: masks served as-is, masks built
+	// (or rebuilt) from row 0, and masks extended in place over appended log
+	// rows. The query engine itself does not fill them — they belong to the
+	// mask cache stacked on top of it (core.Auditor.PlanCacheStats reports
+	// the combined snapshot) — but they live here so single-engine and
+	// federated displays aggregate one struct.
+	MaskHits, MaskRecomputes, MaskExtensions int64
 }
 
 // Add returns the element-wise aggregate of two snapshots: counters sum,
@@ -283,6 +382,9 @@ func (s PlanCacheStats) Add(o PlanCacheStats) PlanCacheStats {
 		ReachEvictions: s.ReachEvictions + o.ReachEvictions,
 		ReachEntries:   s.ReachEntries + o.ReachEntries,
 		ReachCap:       s.ReachCap,
+		MaskHits:       s.MaskHits + o.MaskHits,
+		MaskRecomputes: s.MaskRecomputes + o.MaskRecomputes,
+		MaskExtensions: s.MaskExtensions + o.MaskExtensions,
 	}
 	if s.ReachCap != o.ReachCap {
 		out.ReachCap = -1

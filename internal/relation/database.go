@@ -50,6 +50,16 @@ func (db *Database) Version() uint64 {
 	return v
 }
 
+// SchemaVersion returns the destructive-mutation counter: it increases on
+// every AddTable (including table replacement) and never on Append. The
+// split matters for append-aware caches: a changed SchemaVersion means a
+// *Table pointer obtained earlier may have been swapped out wholesale and
+// every derivation from it must be rebuilt, while a changed Version with an
+// unchanged SchemaVersion means some registered table merely grew — a delta
+// per-table AppendVersion watermarks can localize, so caches keyed to
+// unchanged tables survive.
+func (db *Database) SchemaVersion() uint64 { return db.gen.Load() }
+
 // Table returns the named table, or nil if absent.
 func (db *Database) Table(name string) *Table { return db.tables[name] }
 

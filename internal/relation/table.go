@@ -114,6 +114,19 @@ func (t *Table) Append(row ...Value) {
 // staleness.
 func (t *Table) Version() uint64 { return t.version.Load() }
 
+// AppendVersion returns the table's append watermark. A Table's only
+// mutation is Append, so today this equals Version; the two names separate
+// the *delta classes* external caches care about: an equal AppendVersion
+// means no rows were added (projections built over the rows cover them
+// all), while Version is the conservative any-change token. Derivations
+// that can be extended in place — the query engine's audited-log column
+// projections, the auditor's per-template masks — watermark themselves with
+// AppendVersion and, on a mismatch, re-derive only the suffix of rows
+// appended since, rather than starting over. Destructive changes happen at
+// the database level (AddTable replacement swaps the whole *Table), so a
+// live Table's history is purely append-only.
+func (t *Table) AppendVersion() uint64 { return t.version.Load() }
+
 // Row returns the i-th row. The returned slice must not be modified.
 func (t *Table) Row(i int) []Value { return t.rows[i] }
 
