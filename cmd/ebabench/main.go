@@ -3,16 +3,27 @@
 //
 // Usage:
 //
-//	ebabench [-scale tiny|small|medium] [-seed N] [-experiment name]
+//	ebabench [-scale tiny|small|medium] [-seed N] [-experiment name] [-json]
 //
 // Experiments: fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13
 // fig14 table1 headline, or "all" (default).
+//
+// With -json, a machine-readable BENCH_<n>.json snapshot of the run — the
+// dataset shape and per-experiment wall times — is written to the working
+// directory, numbered one past the highest existing snapshot. The committed
+// BENCH_*.json files form the repo's performance trajectory; CI uploads
+// each run's snapshot as an artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -20,10 +31,32 @@ import (
 	"repro/internal/experiments"
 )
 
+// benchSnapshot is the schema of one BENCH_<n>.json performance snapshot.
+type benchSnapshot struct {
+	Schema        int               `json:"schema"`
+	Timestamp     string            `json:"timestamp"`
+	GoVersion     string            `json:"go_version"`
+	MaxProcs      int               `json:"gomaxprocs"`
+	Scale         string            `json:"scale"`
+	Seed          int64             `json:"seed"`
+	Accesses      int               `json:"accesses"`
+	Patients      int               `json:"patients"`
+	Users         int               `json:"users"`
+	PrepareMillis int64             `json:"prepare_millis"`
+	Experiments   []benchExperiment `json:"experiments"`
+}
+
+// benchExperiment is one experiment's wall time within a snapshot.
+type benchExperiment struct {
+	Name   string `json:"name"`
+	Millis int64  `json:"millis"`
+}
+
 func main() {
 	scale := flag.String("scale", "small", "dataset scale: tiny, small, or medium")
 	seed := flag.Int64("seed", 1, "generator seed")
 	which := flag.String("experiment", "all", "experiment to run (fig6..fig14, table1, headline, all)")
+	jsonOut := flag.Bool("json", false, "write a BENCH_<n>.json snapshot of this run to the working directory")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -43,9 +76,23 @@ func main() {
 
 	start := time.Now()
 	env := experiments.Prepare(cfg)
+	prepared := time.Since(start)
 	fmt.Printf("prepared %s dataset in %v: %d accesses, %d patients, %d users\n\n",
-		*scale, time.Since(start).Round(time.Millisecond),
+		*scale, prepared.Round(time.Millisecond),
 		env.FullLog.NumRows(), len(env.DS.Patients), len(env.DS.Users))
+
+	snap := benchSnapshot{
+		Schema:        1,
+		Timestamp:     start.UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		MaxProcs:      runtime.GOMAXPROCS(0),
+		Scale:         *scale,
+		Seed:          *seed,
+		Accesses:      env.FullLog.NumRows(),
+		Patients:      len(env.DS.Patients),
+		Users:         len(env.DS.Users),
+		PrepareMillis: prepared.Milliseconds(),
+	}
 
 	type renderer interface{ Render() string }
 	run := func(name string, f func() renderer) {
@@ -54,8 +101,10 @@ func main() {
 		}
 		t0 := time.Now()
 		out := f().Render()
+		took := time.Since(t0)
 		fmt.Print(out)
-		fmt.Printf("  [%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("  [%s took %v]\n\n", name, took.Round(time.Millisecond))
+		snap.Experiments = append(snap.Experiments, benchExperiment{Name: name, Millis: took.Milliseconds()})
 	}
 
 	run("fig6", func() renderer { return experiments.Figure6(env) })
@@ -74,6 +123,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ebabench: unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
+
+	if *jsonOut {
+		path, err := writeSnapshot(".", snap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ebabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// benchFileRE matches committed snapshot names; the captured group is the
+// sequence number.
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// writeSnapshot writes snap to dir as BENCH_<n>.json, numbering it one past
+// the highest snapshot already present, and returns the path written.
+func writeSnapshot(dir string, snap benchSnapshot) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next))
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func validExperiment(name string) bool {

@@ -107,6 +107,94 @@ func TestFollowByteIdentical(t *testing.T) {
 	}
 }
 
+// TestFollowTornRow pins the torn-tail contract of follow mode: a final
+// log row appended in two separate writes across polls must stay invisible
+// until its terminating newline lands, then be picked up normally. The
+// first write deliberately ends one byte short of the row's newline, so the
+// torn tail is a syntactically valid CSV record with a truncated final
+// field — the worst case, which a parser ingesting unterminated lines
+// would append as a wrong row (and a fatal-error treatment would abort on
+// the harmless intermediate state). The concatenated NDJSON must be
+// byte-identical to a one-shot stream over the final log, with no poll
+// errors reported.
+func TestFollowTornRow(t *testing.T) {
+	exportDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", exportDir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var want, wantErr bytes.Buffer
+	if err := run([]string{"-data", exportDir, "audit", "-stream"}, &want, &wantErr); err != nil {
+		t.Fatalf("audit -stream: %v\nstderr: %s", err, wantErr.String())
+	}
+
+	dir, fullLog, total := truncatedExport(t, exportDir, 0.95)
+	logPath := filepath.Join(dir, "Log.csv")
+	cur, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffix := fullLog[len(cur):]
+	if len(suffix) < 4 || suffix[len(suffix)-1] != '\n' {
+		t.Fatalf("unexpected suffix %q", suffix)
+	}
+	// First write: the whole growth except the final row's last value byte
+	// and newline. The tail left torn is the final row with its last field
+	// one digit short — parseable, but wrong.
+	torn := suffix[:len(suffix)-2]
+	rest := suffix[len(suffix)-2:]
+	if b := torn[len(torn)-1]; b < '0' || b > '9' {
+		t.Logf("final field is a single byte; torn tail %q is malformed rather than truncated-valid", tailRow(torn))
+	}
+
+	go func() {
+		time.Sleep(30 * time.Millisecond) // let the initial catch-up finish
+		if err := appendFile(logPath, torn); err != nil {
+			t.Errorf("first append: %v", err)
+			return
+		}
+		time.Sleep(25 * time.Millisecond) // several polls observe the torn tail
+		if err := appendFile(logPath, rest); err != nil {
+			t.Errorf("second append: %v", err)
+		}
+	}()
+
+	var got, gotErr bytes.Buffer
+	err = run([]string{"-data", dir, "audit", "-follow",
+		"-poll", "5ms", "-follow-rows", fmt.Sprint(total)}, &got, &gotErr)
+	if err != nil {
+		t.Fatalf("audit -follow: %v\nstderr: %s", err, gotErr.String())
+	}
+	if got.String() != want.String() {
+		t.Errorf("follow NDJSON differs from one-shot stream (%d vs %d bytes)", got.Len(), want.Len())
+	}
+	if strings.Contains(gotErr.String(), "follow poll:") {
+		t.Errorf("torn tail surfaced as a poll error:\n%s", gotErr.String())
+	}
+}
+
+// appendFile appends data to the file at path in place, as a log writer
+// extending a live CSV would.
+func appendFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// tailRow returns the content after the last newline of b, for messages.
+func tailRow(b []byte) []byte {
+	if i := bytes.LastIndexByte(b, '\n'); i >= 0 {
+		return b[i+1:]
+	}
+	return b
+}
+
 // TestFollowValidation pins the flag surface: -follow refuses -stream,
 // federated topologies, generated datasets, and non-positive poll
 // intervals.

@@ -46,6 +46,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -587,8 +588,9 @@ func (a *app) auditStreamFederated(fed *federate.Federation, workers int, verbos
 // line per shard engine.
 func (a *app) printFederatedStats(w io.Writer, fed *federate.Federation) {
 	agg := fed.PlanCacheStats()
-	fmt.Fprintf(w, "plan cache (all shards): %d hits, %d misses; reach memo: %d resident entries, %d evictions; mask cache: %d hits, %d recomputes, %d extensions\n",
-		agg.Hits, agg.Misses, agg.ReachEntries, agg.ReachEvictions,
+	fmt.Fprintf(w, "plan cache (all shards): %d hits, %d misses; planner: %d planned, %d contractions, %d pairs pruned; reach memo: %d resident entries, %d evictions; mask cache: %d hits, %d recomputes, %d extensions\n",
+		agg.Hits, agg.Misses, agg.PlansPlanned, agg.PlanContractions, agg.PlanPairsPruned,
+		agg.ReachEntries, agg.ReachEvictions,
 		agg.MaskHits, agg.MaskRecomputes, agg.MaskExtensions)
 	for _, si := range fed.ShardInfos() {
 		fmt.Fprintf(w, "  %s: %d rows, plan cache %d hits / %d misses, reach memo %d entries / %d evictions (cap %d), masks %d/%d/%d\n",
@@ -640,12 +642,16 @@ func (a *app) auditStream(workers int, verbose bool) error {
 }
 
 // printEngineStats reports the shared query-engine internals: plan-cache
-// hit/miss counters, the bounded reach memo's residency and evictions, and
-// the template-mask cache's hit/recompute/extension outcomes.
+// hit/miss counters, the planner's decision aggregates, the bounded reach
+// memo's residency and evictions, and the template-mask cache's
+// hit/recompute/extension outcomes.
 func (a *app) printEngineStats(w io.Writer, workers int) {
 	st := a.auditor.PlanCacheStats()
 	fmt.Fprintf(w, "plan cache: %d hits, %d misses (%d compiled plans reused across %d workers)\n",
 		st.Hits, st.Misses, st.Misses, workers)
+	fmt.Fprintf(w, "planner: %d plans planned, %d hop contractions, %d pairs pruned, %v planning\n",
+		st.PlansPlanned, st.PlanContractions, st.PlanPairsPruned,
+		time.Duration(st.PlanNanos).Round(time.Microsecond))
 	fmt.Fprintf(w, "reach memo: %d resident entries, %d evictions (per-plan cap %d)\n",
 		st.ReachEntries, st.ReachEvictions, st.ReachCap)
 	fmt.Fprintf(w, "mask cache: %d hits, %d recomputes, %d incremental extensions\n",
@@ -658,11 +664,13 @@ func (a *app) printEngineStats(w io.Writer, workers int) {
 // core.Auditor.Refresh (cached template masks are extended over just the
 // new rows — never recomputed from row 0), and emits only the new reports.
 // The concatenated output is byte-identical to a single `audit -stream`
-// over the final log, which the CLI differential test pins down. Poll
-// errors (a log CSV caught mid-write, say) are reported to stderr and
-// retried on the next tick; a log that shrank or changed layout is also a
-// retried error, because follow mode is defined only for append-only
-// growth.
+// over the final log, which the CLI differential test pins down. A torn
+// final CSV row (a writer caught mid-append) is not an error: rows become
+// visible only once newline-terminated, so the poll simply picks the row
+// up when it is complete (see appendNewLogRows). Genuine poll errors are
+// reported to stderr and retried on the next tick; a log that shrank or
+// changed layout is also a retried error, because follow mode is defined
+// only for append-only growth.
 func (a *app) auditFollow(workers int, poll time.Duration, stopRows int, verbose bool) error {
 	log := a.db.MustTable(pathmodel.LogTable)
 	ctx := context.Background()
@@ -730,6 +738,15 @@ func (a *app) auditFollow(workers int, poll time.Duration, stopRows int, verbose
 // at least the current row count — follow mode observes an append-only
 // log, not arbitrary edits (the pre-existing prefix is trusted, exactly as
 // a database tailing a WAL trusts already-applied records).
+//
+// A writer appending in place may be caught mid-row, so only rows
+// terminated by a newline are considered visible: everything after the
+// final newline is a torn row that is parsed on a later poll, once the
+// writer finishes it. Without the cut, a torn row would either surface as
+// a parse error on every poll until completed or — worse — parse cleanly
+// as a truncated value (a Lid "10" caught after one byte is a valid "1")
+// and be appended wrongly. The cut is safe because the export format never
+// quotes fields, so a row cannot contain embedded newlines.
 func (a *app) appendNewLogRows(log *relation.Table, lastStat os.FileInfo) (int, os.FileInfo, error) {
 	path := filepath.Join(a.dataDir, pathmodel.LogTable+".csv")
 	stat, err := os.Stat(path)
@@ -739,12 +756,18 @@ func (a *app) appendNewLogRows(log *relation.Table, lastStat os.FileInfo) (int, 
 	if lastStat != nil && stat.Size() == lastStat.Size() && stat.ModTime().Equal(lastStat.ModTime()) {
 		return 0, lastStat, nil
 	}
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, lastStat, err
 	}
-	t, err := relation.Load(pathmodel.LogTable, f)
-	f.Close()
+	cut := bytes.LastIndexByte(data, '\n')
+	if cut < 0 {
+		// Even the header line is still being written; nothing is visible
+		// yet. The completing write grows the file, so the stat short-circuit
+		// cannot mask it.
+		return 0, stat, nil
+	}
+	t, err := relation.Load(pathmodel.LogTable, bytes.NewReader(data[:cut+1]))
 	if err != nil {
 		return 0, lastStat, err
 	}

@@ -105,6 +105,32 @@ type engine struct {
 	// every plan of the engine.
 	reachCap       atomic.Int64
 	reachEvictions atomic.Int64
+
+	// plannerOff disables the compile-time planner stage (see planner.go);
+	// the zero value — planner on — is the default. Stored inverted so the
+	// engine literal in NewEvaluatorWithLog needs no initialization.
+	plannerOff atomic.Bool
+
+	// Planner decision aggregates across every plan the engine compiled:
+	// plans run through the planner, greedy hop contractions applied, pairs
+	// dropped by backward-feasible pruning, and total planning wall time.
+	// Snapshotted by PlanCacheStats.
+	plansPlanned     atomic.Int64
+	planContractions atomic.Int64
+	planPairsPruned  atomic.Int64
+	planNanos        atomic.Int64
+
+	// backwardPasses counts feasibleStarts evaluations engine-wide — the
+	// observable the feas-memo tests pin down: an open plan shared by
+	// ConnectedRange and Support callers must run its backward pass once,
+	// not once per Support call.
+	backwardPasses atomic.Int64
+}
+
+// backwardPass runs feasibleStarts and counts it on the engine.
+func (eng *engine) backwardPass(pl plan) valueSet {
+	eng.backwardPasses.Add(1)
+	return feasibleStarts(pl)
 }
 
 // Evaluator executes paths against one database. It is a cheap per-caller
@@ -207,33 +233,33 @@ func (eng *engine) projections() *logProj {
 // fewer distinct patients than rows) still fit without eviction.
 func defaultReachMemoCap(logRows int) int {
 	const floor = 1024
-	cap := logRows / 4
-	if cap < floor {
-		cap = floor
+	bound := logRows / 4
+	if bound < floor {
+		bound = floor
 	}
-	return cap
+	return bound
 }
 
 // SetReachMemoCap bounds how many forward-propagation results each compiled
 // plan may keep resident (the reach memo behind ExplainedRange); excess
 // entries are evicted clock-wise and transparently recomputed on the next
 // miss, so results never change — only memory and recomputation trade off.
-// cap <= 0 removes the bound. The setting is engine-wide (shared by every
+// A bound <= 0 removes the cap. The setting is engine-wide (shared by every
 // Clone) and applies to every plan: plans prepared later adopt it at
 // creation, and plans already in the cache are re-capped in place — a
 // lowered bound evicts their excess entries immediately (counted in
 // PlanCacheStats.ReachEvictions) instead of waiting for the next prepare.
 // The default is sized off the log's row count.
-func (ev *Evaluator) SetReachMemoCap(cap int) {
-	if cap < 0 {
-		cap = 0
+func (ev *Evaluator) SetReachMemoCap(bound int) {
+	if bound < 0 {
+		bound = 0
 	}
 	eng := ev.engine
-	eng.reachCap.Store(int64(cap))
+	eng.reachCap.Store(int64(bound))
 	eng.planMu.RLock()
 	defer eng.planMu.RUnlock()
 	for _, ent := range eng.plans {
-		ent.reach.setCap(cap)
+		ent.reach.setCap(bound)
 	}
 }
 
@@ -283,6 +309,11 @@ type op struct {
 type plan struct {
 	ops    []op
 	closed bool
+
+	// info records the planner's decisions when the planner stage ran on
+	// this plan (see planner.go); it is the zero value for declared-order
+	// plans.
+	info PlanInfo
 }
 
 // compile lowers a path into a plan. It panics on malformed paths because

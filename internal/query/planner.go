@@ -1,0 +1,328 @@
+package query
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// This file is the compile-time planner: the stage between compile (which
+// lowers a path into the declared-order op chain) and the plan cache (which
+// publishes the result to every cursor). The paper's prototype evaluates
+// each explanation path's hops in exactly the order the path declares them;
+// hop order and hop width, however, dominate the size of the intermediate
+// value sets propagate builds. Following the statistics-free greedy join
+// ordering line of work, the planner restructures the chain before any
+// tuples flow, using only cardinality signals the engine already has for
+// free — the DISTINCT pair projections themselves (their key counts are the
+// tables' NumDistinct values, their totals the distinct-pair counts) and the
+// audited log's row count. No statistics are collected or maintained.
+//
+// Three rewrites are applied, in order:
+//
+//  1. Backward-feasible pruning. The boundary sets feasibleStarts walks at
+//     evaluation time are computed once at plan time, and every opMap /
+//     opBridge pairs map is replaced by a private copy restricted to values
+//     that can still complete the chain. This pushes the trailing opExists
+//     filter of an open plan backward through every expansion (the
+//     "boundedness before expansion" rewrite) and eliminates dead-end
+//     branches of closed plans that no subsequent hop can extend.
+//  2. Exists absorption. Once the op preceding an open plan's trailing
+//     opExists has been pruned against the exists index, the opExists
+//     passes everything that reaches it and is dropped.
+//  3. Greedy hop contraction. Adjacent pairs ops are relations under
+//     composition, and composition is associative, so any contraction
+//     order yields the same start-to-end relation. The planner repeatedly
+//     composes the adjacent pair with the smallest estimated composed size
+//     (the classic independence estimate: |a| x avg fanout of b) while the
+//     estimate — and an exact size-only pre-scan of the intermediate work —
+//     stays under a budget that is a small multiple of the pairs being
+//     replaced. Short selective chains typically collapse to a single map,
+//     making propagate one lookup instead of a walk; dense closures that
+//     would inflate manyfold are left alone.
+//
+// Soundness: pruning only ever consults the plan's dependency tables (the
+// pairs maps and the opExists index), never the audited log's User column.
+// cachedPlan.deps deliberately excludes the audited log so that plans
+// survive pure log appends (the basis of incremental auditing); a plan
+// pruned against log values would go stale on append without being
+// invalidated. The boundary before opClose therefore stays unconstrained.
+//
+// The declared-order chain remains available as a differential oracle:
+// SetPlannerEnabled(false) makes Prepare publish compile's output verbatim,
+// and the index-free SupportScan is a second, plan-free oracle. The
+// differential tests pin planned output to both.
+
+// PlanInfo records the planner's decisions for one compiled plan. It is
+// stored on the plan-cache entry and exposed through Prepared.PlanInfo so
+// tests and tools can see what the planner did; the engine-wide aggregates
+// are in PlanCacheStats.
+type PlanInfo struct {
+	// Planned reports whether the planner ran on this plan. It is false
+	// when the planner is disabled (the declared-order oracle).
+	Planned bool
+
+	// HopsDeclared and HopsPlanned count the plan's ops before and after
+	// planning; contraction and exists absorption shrink the chain.
+	HopsDeclared, HopsPlanned int
+
+	// PairsDeclared and PairsPlanned total the (from, to) pairs resident
+	// across the plan's ops before and after planning, and PairsPruned
+	// counts the pairs dropped by backward-feasible pruning alone
+	// (contraction changes totals too, so the two are reported apart).
+	PairsDeclared, PairsPlanned, PairsPruned int
+
+	// Contractions counts greedy hop compositions applied.
+	Contractions int
+
+	// ExistsAbsorbed reports that the open plan's trailing opExists was
+	// folded into the pruned predecessor and dropped.
+	ExistsAbsorbed bool
+
+	// PlanNanos is the wall time the planner spent on this plan.
+	PlanNanos int64
+}
+
+// SetPlannerEnabled toggles the planner stage for plans compiled after the
+// call (the default is enabled) and drops the plan cache, so every cached
+// chain is re-prepared under the new setting. Disabling the planner makes
+// Prepare publish the declared-order chain exactly as compile produced it —
+// the differential oracle the planner tests evaluate against. The setting
+// is engine-wide: every Clone shares it.
+func (ev *Evaluator) SetPlannerEnabled(on bool) {
+	ev.engine.plannerOff.Store(!on)
+	ev.InvalidatePlans()
+}
+
+// PlannerEnabled reports whether the planner stage runs on newly compiled
+// plans.
+func (ev *Evaluator) PlannerEnabled() bool { return !ev.engine.plannerOff.Load() }
+
+// planPlan runs the planner on a freshly compiled plan and charges the
+// decision counters to the engine. It never mutates pl's op maps — compile
+// shares them with the tables' immutable projection caches — and the
+// returned plan is behaviorally identical to pl under propagate and
+// feasibleStarts.
+func (ev *Evaluator) planPlan(pl plan) plan {
+	start := time.Now()
+	info := PlanInfo{
+		Planned:       true,
+		HopsDeclared:  len(pl.ops),
+		PairsDeclared: totalPlanPairs(pl.ops),
+	}
+	ops := prunePairs(pl.ops, &info)
+	ops = contractHops(ops, &info)
+	info.HopsPlanned = len(ops)
+	info.PairsPlanned = totalPlanPairs(ops)
+	info.PlanNanos = time.Since(start).Nanoseconds()
+
+	eng := ev.engine
+	eng.plansPlanned.Add(1)
+	eng.planContractions.Add(int64(info.Contractions))
+	eng.planPairsPruned.Add(int64(info.PairsPruned))
+	eng.planNanos.Add(info.PlanNanos)
+	return plan{ops: ops, closed: pl.closed, info: info}
+}
+
+// isPairsOp reports whether o carries a pairs map (opMap or opBridge) — the
+// op forms pruning rewrites and contraction composes.
+func isPairsOp(o op) bool { return o.kind == opMap || o.kind == opBridge }
+
+// totalPlanPairs totals the (from, to) pairs resident across ops.
+func totalPlanPairs(ops []op) int {
+	n := 0
+	for _, o := range ops {
+		if isPairsOp(o) {
+			for _, ws := range o.pairs {
+				n += len(ws)
+			}
+		}
+	}
+	return n
+}
+
+// prunePairs walks the chain backward computing, at each op boundary, the
+// set of values that can still complete the chain — exactly the sets
+// feasibleStarts recomputes on every backward pass — and restricts each
+// pairs map to them. A nil boundary means unconstrained; the boundary
+// before opClose is deliberately left unconstrained (see the file comment:
+// the audited log is not a plan dependency). Ops whose boundary is
+// unconstrained keep their original shared map; pruned ops get private
+// copies, so the tables' caches are never touched.
+func prunePairs(ops []op, info *PlanInfo) []op {
+	out := make([]op, len(ops))
+	copy(out, ops)
+
+	var feasible valueSet // nil = unconstrained
+	for i := len(out) - 1; i >= 0; i-- {
+		o := out[i]
+		switch o.kind {
+		case opClose:
+			feasible = nil
+		case opExists:
+			next := make(valueSet, len(o.index))
+			for v := range o.index {
+				next[v] = struct{}{}
+			}
+			feasible = next
+		case opMap, opBridge:
+			if feasible == nil {
+				next := make(valueSet, len(o.pairs))
+				for v := range o.pairs {
+					next[v] = struct{}{}
+				}
+				feasible = next
+				continue
+			}
+			pruned := make(map[relation.Value][]relation.Value, len(o.pairs))
+			next := make(valueSet, len(o.pairs))
+			for v, ws := range o.pairs {
+				var kept []relation.Value
+				for _, w := range ws {
+					if feasible.has(w) {
+						kept = append(kept, w)
+					}
+				}
+				info.PairsPruned += len(ws) - len(kept)
+				if len(kept) == 0 {
+					continue
+				}
+				pruned[v] = kept
+				next[v] = struct{}{}
+			}
+			out[i].pairs = pruned
+			feasible = next
+		}
+	}
+
+	// Exists absorption: the backward pass above restricted the op before a
+	// trailing opExists to values present in the exists index, so the
+	// filter now passes everything that reaches it.
+	if n := len(out); n >= 2 && out[n-1].kind == opExists && isPairsOp(out[n-2]) {
+		out = out[:n-1]
+		info.ExistsAbsorbed = true
+	}
+	return out
+}
+
+// contractionBudget bounds one candidate composition a ; b: a small
+// multiple of the pairs resident in the two hops being replaced, floored so
+// tiny plans always contract. The budget is deliberately relative to the
+// hops themselves, not to the audited log — a contraction is profitable
+// when the composed map costs about what the hops it replaces cost, and a
+// composition that inflates its inputs manyfold (dense self-join closures
+// like collaborative groups) loses more in materialization and list-scan
+// width than it saves in hop count, no matter how large the log is.
+func contractionBudget(a, b map[relation.Value][]relation.Value) float64 {
+	m := totalMapPairs(a) + totalMapPairs(b)
+	if m < 512 {
+		m = 512
+	}
+	return float64(8 * m)
+}
+
+func totalMapPairs(m map[relation.Value][]relation.Value) int {
+	n := 0
+	for _, ws := range m {
+		n += len(ws)
+	}
+	return n
+}
+
+// estComposed is the independence estimate of |a compose b|: every pair of
+// a fans out through b's average fanout. It uses only the projections'
+// own cardinalities — no statistics are kept.
+func estComposed(a, b map[relation.Value][]relation.Value) float64 {
+	if len(b) == 0 || len(a) == 0 {
+		return 0
+	}
+	fanout := float64(totalMapPairs(b)) / float64(len(b))
+	return float64(totalMapPairs(a)) * fanout
+}
+
+// contractHops greedily composes adjacent pairs ops, smallest estimated
+// result first, while the estimate stays under the budget. Composition is
+// associative, so the greedy order changes evaluation cost only, never the
+// start-to-end relation; terminal opExists / opClose ops are never touched.
+//
+// The independence estimate picks which pair to attempt, but it can
+// undershoot badly when the right map's lists overlap heavily (many left
+// values fanning into the same dense groups): the composition then touches
+// far more intermediate pairs than it keeps. So before materializing, the
+// chosen pair's exact intermediate work is computed with a size-only
+// pre-scan (composeWork) and checked against its budget — a doomed
+// composition is rejected for the cost of scanning the left map's lists,
+// and its position is blocked from further attempts.
+func contractHops(ops []op, info *PlanInfo) []op {
+	blocked := make(map[int]bool) // positions whose composition blew their budget
+	for {
+		best, bestEst := -1, 0.0
+		for i := 0; i+1 < len(ops); i++ {
+			if blocked[i] || !isPairsOp(ops[i]) || !isPairsOp(ops[i+1]) {
+				continue
+			}
+			if est := estComposed(ops[i].pairs, ops[i+1].pairs); best == -1 || est < bestEst {
+				best, bestEst = i, est
+			}
+		}
+		if best == -1 {
+			return ops
+		}
+		budget := contractionBudget(ops[best].pairs, ops[best+1].pairs)
+		if bestEst > budget ||
+			float64(composeWork(ops[best].pairs, ops[best+1].pairs)) > budget {
+			blocked[best] = true
+			continue
+		}
+		ops[best] = op{
+			kind:  opMap,
+			table: ops[best].table + "*" + ops[best+1].table,
+			pairs: composePairs(ops[best].pairs, ops[best+1].pairs),
+		}
+		ops = append(ops[:best+1], ops[best+2:]...)
+		info.Contractions++
+		clear(blocked) // positions shifted; re-evaluate every pair
+	}
+}
+
+// composeWork returns the exact number of intermediate (v, w, x) pairs the
+// composition a ; b touches: Σ |b[w]| over every (v, w) pair of a. It uses
+// only list-length lookups, never building anything, so it is cheap even
+// when the answer is enormous — the admission check that keeps a bad
+// independence estimate from turning into a planning-time blowup.
+func composeWork(a, b map[relation.Value][]relation.Value) int {
+	work := 0
+	for _, ws := range a {
+		for _, w := range ws {
+			work += len(b[w])
+		}
+	}
+	return work
+}
+
+// composePairs materializes the relational composition a ; b as a fresh
+// pairs map with sorted, de-duplicated value lists — the same shape
+// relation.Table.DistinctPairs produces, so a contracted hop is
+// indistinguishable from a declared one downstream.
+func composePairs(a, b map[relation.Value][]relation.Value) map[relation.Value][]relation.Value {
+	out := make(map[relation.Value][]relation.Value, len(a))
+	for v, ws := range a {
+		set := make(map[relation.Value]struct{})
+		for _, w := range ws {
+			for _, x := range b[w] {
+				set[x] = struct{}{}
+			}
+		}
+		if len(set) == 0 {
+			continue
+		}
+		xs := make([]relation.Value, 0, len(set))
+		for x := range set {
+			xs = append(xs, x)
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i].Less(xs[j]) })
+		out[v] = xs
+	}
+	return out
+}

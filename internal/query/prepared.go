@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pathmodel"
 	"repro/internal/relation"
@@ -49,7 +50,15 @@ func (ev *Evaluator) Prepare(p pathmodel.Path) *Prepared {
 	for {
 		ent := ev.engine.planEntry(key)
 		ent.compileOnce.Do(func() {
-			ent.pl = ev.compile(p)
+			pl := ev.compile(p)
+			if !ev.engine.plannerOff.Load() {
+				// Planner stage: prune and contract the declared-order chain
+				// using the compile-time projections (see planner.go). Runs
+				// inside the Once, so each cached plan is planned exactly
+				// once and every cursor shares the planned chain.
+				pl = ev.planPlan(pl)
+			}
+			ent.pl = pl
 			ent.forward = p.Forward()
 			// Record the version of every table the compilation read. The
 			// table contract forbids concurrent appends, so these are the
@@ -96,6 +105,11 @@ func (pp *Prepared) Path() pathmodel.Path { return pp.path }
 // Closed reports whether the prepared path is closed (reaches Log.User).
 func (pp *Prepared) Closed() bool { return pp.ent.pl.closed }
 
+// PlanInfo returns the planner's recorded decisions for the shared plan
+// behind this handle; the zero value (Planned == false) means the plan is
+// the declared-order chain (planner disabled).
+func (pp *Prepared) PlanInfo() PlanInfo { return pp.ent.pl.info }
+
 // orient returns the per-row start and end columns for the orientation the
 // shared plan was compiled in. Two paths with equal canonical keys can
 // differ in orientation (a closed path and its reverse impose the same
@@ -112,10 +126,16 @@ func (pp *Prepared) orient() (starts, ends []relation.Value) {
 }
 
 // feasible returns the open plan's feasible-start set, computing it once per
-// cache entry and sharing it across all cursors.
+// cache entry and sharing it across all cursors. feasDone is published after
+// the set so Support's opportunistic peek never observes a half-written
+// memo.
 func (pp *Prepared) feasible() valueSet {
-	pp.ent.feasOnce.Do(func() { pp.ent.feas = feasibleStarts(pp.ent.pl) })
-	return pp.ent.feas
+	ent := pp.ent
+	ent.feasOnce.Do(func() {
+		ent.feas = pp.ev.engine.backwardPass(ent.pl)
+		ent.feasDone.Store(true)
+	})
+	return ent.feas
 }
 
 // checkRange validates a half-open row range against the audited log.
@@ -135,7 +155,18 @@ func (pp *Prepared) Support() int {
 	pp.ev.queriesEvaluated++
 	starts, ends := pp.orient()
 	if !pp.ent.pl.closed {
-		f := feasibleStarts(pp.ent.pl)
+		// Reuse the shared feasible-start memo when a ConnectedRange caller
+		// already populated it — the backward pass is the whole cost of an
+		// open-path support query. When the memo is cold, compute the set
+		// call-local instead of filling it: Support is the miner's hot path,
+		// and pinning a feasible-start set for every mined candidate in an
+		// engine-lifetime entry would grow memory without bound.
+		var f valueSet
+		if pp.ent.feasDone.Load() {
+			f = pp.ent.feas
+		} else {
+			f = pp.ev.engine.backwardPass(pp.ent.pl)
+		}
 		n := 0
 		for _, sv := range starts {
 			if f.has(sv) {
@@ -264,6 +295,10 @@ type cachedPlan struct {
 	// is deterministic, so results are identical.
 	feasOnce sync.Once
 	feas     valueSet
+	// feasDone is set (after feas, inside the Once) when the shared memo is
+	// populated; Support peeks it to reuse the memo without ever filling it,
+	// and the atomic orders the peek against the Once body's write.
+	feasDone atomic.Bool
 	reach    *reachCache
 }
 
@@ -360,6 +395,15 @@ type PlanCacheStats struct {
 	// SetReachMemoCap.
 	ReachCap int
 
+	// Planner aggregates (see planner.go): plans run through the planner
+	// stage, greedy hop contractions applied, pairs dropped by
+	// backward-feasible pruning, and total planning wall time in
+	// nanoseconds. All zero when the planner is disabled.
+	PlansPlanned     int64
+	PlanContractions int64
+	PlanPairsPruned  int64
+	PlanNanos        int64
+
 	// MaskHits, MaskRecomputes, and MaskExtensions count the auditing
 	// layer's template-mask cache outcomes: masks served as-is, masks built
 	// (or rebuilt) from row 0, and masks extended in place over appended log
@@ -377,14 +421,18 @@ type PlanCacheStats struct {
 // so an aggregate never silently reports one shard's cap as everyone's.
 func (s PlanCacheStats) Add(o PlanCacheStats) PlanCacheStats {
 	out := PlanCacheStats{
-		Hits:           s.Hits + o.Hits,
-		Misses:         s.Misses + o.Misses,
-		ReachEvictions: s.ReachEvictions + o.ReachEvictions,
-		ReachEntries:   s.ReachEntries + o.ReachEntries,
-		ReachCap:       s.ReachCap,
-		MaskHits:       s.MaskHits + o.MaskHits,
-		MaskRecomputes: s.MaskRecomputes + o.MaskRecomputes,
-		MaskExtensions: s.MaskExtensions + o.MaskExtensions,
+		Hits:             s.Hits + o.Hits,
+		Misses:           s.Misses + o.Misses,
+		ReachEvictions:   s.ReachEvictions + o.ReachEvictions,
+		ReachEntries:     s.ReachEntries + o.ReachEntries,
+		ReachCap:         s.ReachCap,
+		PlansPlanned:     s.PlansPlanned + o.PlansPlanned,
+		PlanContractions: s.PlanContractions + o.PlanContractions,
+		PlanPairsPruned:  s.PlanPairsPruned + o.PlanPairsPruned,
+		PlanNanos:        s.PlanNanos + o.PlanNanos,
+		MaskHits:         s.MaskHits + o.MaskHits,
+		MaskRecomputes:   s.MaskRecomputes + o.MaskRecomputes,
+		MaskExtensions:   s.MaskExtensions + o.MaskExtensions,
 	}
 	if s.ReachCap != o.ReachCap {
 		out.ReachCap = -1
@@ -398,10 +446,14 @@ func (s PlanCacheStats) Add(o PlanCacheStats) PlanCacheStats {
 func (ev *Evaluator) PlanCacheStats() PlanCacheStats {
 	eng := ev.engine
 	st := PlanCacheStats{
-		Hits:           eng.planHits.Load(),
-		Misses:         eng.planMisses.Load(),
-		ReachEvictions: eng.reachEvictions.Load(),
-		ReachCap:       int(eng.reachCap.Load()),
+		Hits:             eng.planHits.Load(),
+		Misses:           eng.planMisses.Load(),
+		ReachEvictions:   eng.reachEvictions.Load(),
+		ReachCap:         int(eng.reachCap.Load()),
+		PlansPlanned:     eng.plansPlanned.Load(),
+		PlanContractions: eng.planContractions.Load(),
+		PlanPairsPruned:  eng.planPairsPruned.Load(),
+		PlanNanos:        eng.planNanos.Load(),
 	}
 	eng.planMu.RLock()
 	for _, ent := range eng.plans {

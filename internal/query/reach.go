@@ -44,13 +44,13 @@ type reachEntry struct {
 	ref bool // second-chance bit: set on every hit, cleared by the sweep
 }
 
-// newReachCache builds a memo capped at roughly cap entries across all
-// shards (cap <= 0 means unbounded), charging evictions to the given
+// newReachCache builds a memo capped at roughly bound entries across all
+// shards (bound <= 0 means unbounded), charging evictions to the given
 // engine-wide counter.
-func newReachCache(cap int, evictions *atomic.Int64) *reachCache {
+func newReachCache(bound int, evictions *atomic.Int64) *reachCache {
 	c := &reachCache{evictions: evictions}
 	for i := range c.shards {
-		c.shards[i].cap = perShardCap(cap)
+		c.shards[i].cap = perShardCap(bound)
 		c.shards[i].entries = make(map[relation.Value]*reachEntry)
 	}
 	return c
@@ -58,11 +58,11 @@ func newReachCache(cap int, evictions *atomic.Int64) *reachCache {
 
 // perShardCap spreads a whole-cache bound across the shards (0 stays 0,
 // meaning unbounded).
-func perShardCap(cap int) int {
-	if cap <= 0 {
+func perShardCap(bound int) int {
+	if bound <= 0 {
 		return 0
 	}
-	return (cap + reachShardCount - 1) / reachShardCount
+	return (bound + reachShardCount - 1) / reachShardCount
 }
 
 // setCap re-bounds a live cache: the new cap applies immediately, and shards
@@ -73,8 +73,8 @@ func perShardCap(cap int) int {
 // deletes map entries during the sweep and compacts the ring once at the
 // end — O(resident entries), never per-eviction ring surgery — so re-capping
 // a large warm memo stays linear.
-func (c *reachCache) setCap(cap int) {
-	per := perShardCap(cap)
+func (c *reachCache) setCap(bound int) {
+	per := perShardCap(bound)
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
