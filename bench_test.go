@@ -12,6 +12,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"os"
 	"reflect"
 	"runtime"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/pathmodel"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/store"
 )
 
 var (
@@ -910,5 +912,115 @@ func BenchmarkMaskBitsetBoolBaseline(b *testing.B) {
 	}
 	if sink == 0 {
 		b.Fatal("explained fraction is zero")
+	}
+}
+
+// --- persistent-store startup benchmarks ------------------------------------
+
+var (
+	startupOnce sync.Once
+	startupDir  string
+	startupErr  string
+)
+
+// startupStore builds (once) a segment store of the Medium hospital with a
+// saved warm-start snapshot: the dataset is persisted, a fully configured
+// auditor runs one complete audit, and its masks and plan keys are captured
+// via SaveWarmState. BenchmarkColdStart and BenchmarkWarmStart both open
+// this directory; the only difference between them is whether the snapshot
+// is installed before the first report.
+func startupStore(b *testing.B) string {
+	b.Helper()
+	startupOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ebstore-bench")
+		if err != nil {
+			startupErr = err.Error()
+			return
+		}
+		ds := ehr.Generate(ehr.Medium())
+		// Train and persist the collaborative-group hierarchy, as the CLI's
+		// migration path does: the store carries Groups as an ordinary table,
+		// so neither start below retrains it — the cold/warm gap is purely
+		// mask and plan reconstruction over the full catalog.
+		ug := groups.BuildUserGraph(ds.Log())
+		ds.DB.AddTable(groups.BuildHierarchy(ug, 8).Table(ehr.TableGroups))
+		if _, err := store.Create(dir, ds.DB); err != nil {
+			startupErr = err.Error()
+			return
+		}
+		// Warm against the REOPENED database so the snapshot's schema-version
+		// stamp matches what every later Open reconstructs.
+		s, db, err := store.Open(dir)
+		if err != nil {
+			startupErr = err.Error()
+			return
+		}
+		a := core.NewAuditor(db, ehr.SchemaGraph(ehr.DefaultGraphOptions()))
+		a.AddTemplates(explain.Handcrafted(true, true).All()...)
+		if a.ExplainedFractionParallel(context.Background(), 8) == 0 {
+			startupErr = "warm-up audit explained nothing"
+			return
+		}
+		if err := s.SaveWarmState(db, a.CaptureWarmState()); err != nil {
+			startupErr = err.Error()
+			return
+		}
+		startupDir = dir
+	})
+	if startupErr != "" {
+		b.Fatal(startupErr)
+	}
+	return startupDir
+}
+
+// startupAuditor opens the startup store and configures an auditor over it —
+// the shared portion of a cold and a warm process start.
+func startupAuditor(b *testing.B, dir string) (*store.Store, *core.Auditor) {
+	s, db, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := core.NewAuditor(db, ehr.SchemaGraph(ehr.DefaultGraphOptions()))
+	a.AddTemplates(explain.Handcrafted(true, true).All()...)
+	return s, a
+}
+
+// BenchmarkColdStart measures time-to-first-report from a cold process:
+// open the Medium segment store, configure the auditor, and produce the
+// first access report — which forces every template mask to be computed
+// from row 0. This is the startup cost a restart pays without a snapshot.
+func BenchmarkColdStart(b *testing.B) {
+	dir := startupStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, a := startupAuditor(b, dir)
+		if rep := a.ExplainRow(0, 1); rep.Lid == 0 && !rep.Explained() {
+			runtime.KeepAlive(rep)
+		}
+	}
+}
+
+// BenchmarkWarmStart measures the same time-to-first-report when the store's
+// warm snapshot is installed first: every mask arrives cached and the first
+// report touches no history. The ratio to BenchmarkColdStart is the repo's
+// durable-warm-start headline (target: at least 5x).
+func BenchmarkWarmStart(b *testing.B) {
+	dir := startupStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, a := startupAuditor(b, dir)
+		ws, err := s.LoadWarmState(a.Database())
+		if err != nil {
+			b.Fatal(err)
+		}
+		masks, _ := a.InstallWarmState(ws)
+		if masks == 0 {
+			b.Fatal("snapshot installed no masks")
+		}
+		if rep := a.ExplainRow(0, 1); rep.Lid == 0 && !rep.Explained() {
+			runtime.KeepAlive(rep)
+		}
 	}
 }

@@ -6,7 +6,7 @@
 //	ebabench [-scale tiny|small|medium] [-seed N] [-experiment name] [-json]
 //
 // Experiments: fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13
-// fig14 table1 headline, or "all" (default).
+// fig14 table1 headline startup, or "all" (default).
 //
 // With -json, a machine-readable BENCH_<n>.json snapshot of the run — the
 // dataset shape and per-experiment wall times — is written to the working
@@ -55,7 +55,7 @@ type benchExperiment struct {
 func main() {
 	scale := flag.String("scale", "small", "dataset scale: tiny, small, or medium")
 	seed := flag.Int64("seed", 1, "generator seed")
-	which := flag.String("experiment", "all", "experiment to run (fig6..fig14, table1, headline, all)")
+	which := flag.String("experiment", "all", "experiment to run (fig6..fig14, table1, headline, startup, all)")
 	jsonOut := flag.Bool("json", false, "write a BENCH_<n>.json snapshot of this run to the working directory")
 	flag.Parse()
 
@@ -118,6 +118,7 @@ func main() {
 	run("fig14", func() renderer { return experiments.Figure14(env) })
 	run("table1", func() renderer { return experiments.Table1(env) })
 	run("headline", func() renderer { return experiments.Headline(env) })
+	run("startup", func() renderer { return experiments.Startup(env) })
 
 	if *which != "all" && !validExperiment(*which) {
 		fmt.Fprintf(os.Stderr, "ebabench: unknown experiment %q\n", *which)
@@ -164,7 +165,7 @@ func writeSnapshot(dir string, snap benchSnapshot) (string, error) {
 }
 
 func validExperiment(name string) bool {
-	for _, n := range strings.Split("fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13 fig14 table1 headline", " ") {
+	for _, n := range strings.Split("fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13 fig14 table1 headline startup", " ") {
 		if n == name {
 			return true
 		}

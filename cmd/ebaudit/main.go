@@ -23,7 +23,9 @@
 //	ebaudit [flags] unexplained [-n N]   # misuse-detection shortlist
 //	ebaudit [flags] groups [-depth D]    # collaborative-group composition
 //	ebaudit [flags] templates            # print the hand-crafted catalog
-//	ebaudit [flags] export -dir DIR      # dump every table as typed CSV
+//	ebaudit [flags] export -dir DIR [-format csv|store]
+//	                                     # dump every table as typed CSV, or
+//	                                     # as a binary segment store
 //
 // The -j flag sets the worker count of the batch auditing engine and the
 // miner's candidate-evaluation stage (default GOMAXPROCS; values below 1 are
@@ -42,6 +44,18 @@
 // (repeat-access history and collaborative groups span shards) while each
 // shard's accesses are explained against its own metadata, and every
 // subcommand except export answers over the logical merged log.
+//
+// The -store flag puts a binary segment store (internal/store) behind the
+// database: a missing store is created from -data (or the generated
+// dataset), an existing one is opened directly — no CSV reparse — with any
+// torn segment tail from a crash truncated away. audit saves a warm-start
+// snapshot (template masks, compiled-plan keys, watermarks) into the
+// store, and audit -follow additionally persists every appended log batch
+// as a durable segment record, so a restarted session resumes warm exactly
+// where the interrupted one left off; a snapshot that no longer matches
+// the database is discarded, never partially trusted. A comma-separated
+// -store list federates one store per shard, pairing with -data by
+// position when migration is needed.
 package main
 
 import (
@@ -68,6 +82,7 @@ import (
 	"repro/internal/mine"
 	"repro/internal/pathmodel"
 	"repro/internal/relation"
+	"repro/internal/store"
 )
 
 func main() {
@@ -98,6 +113,7 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 	seed := fs.Int64("seed", 1, "generator seed")
 	parallelism := fs.Int("j", runtime.GOMAXPROCS(0), "batch auditing workers")
 	dataDir := fs.String("data", "", "load tables from a directory of typed CSVs (see 'ebaudit export') instead of generating; a comma-separated list federates one shard per directory")
+	storeDir := fs.String("store", "", "open (or create from -data / the generated dataset) a binary segment store; restarts resume warm from its snapshot; a comma-separated list federates one shard per store")
 	if err := fs.Parse(argv); err != nil {
 		return errUsage
 	}
@@ -109,20 +125,49 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 		return fmt.Errorf("-j must be at least 1, got %d", *parallelism)
 	}
 
-	var dataDirs []string
-	if *dataDir != "" {
-		dataDirs = strings.Split(*dataDir, ",")
-		for i, d := range dataDirs {
+	splitDirs := func(flagName, v string) ([]string, error) {
+		if v == "" {
+			return nil, nil
+		}
+		dirs := strings.Split(v, ",")
+		for i, d := range dirs {
 			d = strings.TrimSpace(d)
 			if d == "" {
-				return fmt.Errorf("-data list %q contains an empty entry", *dataDir)
+				return nil, fmt.Errorf("%s list %q contains an empty entry", flagName, v)
 			}
-			dataDirs[i] = d
+			dirs[i] = d
 		}
+		return dirs, nil
+	}
+	dataDirs, err := splitDirs("-data", *dataDir)
+	if err != nil {
+		return err
+	}
+	storeDirs, err := splitDirs("-store", *storeDir)
+	if err != nil {
+		return err
+	}
+
+	// gen builds the generated-dataset app, validating -scale lazily so the
+	// flag is only checked when generation actually happens.
+	gen := func() (*app, error) {
+		cfg := ehr.Tiny()
+		switch *scale {
+		case "tiny":
+		case "small":
+			cfg = ehr.Small()
+		case "medium":
+			cfg = ehr.Medium()
+		default:
+			fmt.Fprintf(stderr, "ebaudit: unknown scale %q\n", *scale)
+			return nil, errUsage
+		}
+		cfg.Seed = *seed
+		return newApp(cfg, *parallelism), nil
 	}
 
 	var a *app
-	if len(dataDirs) > 0 {
+	if len(dataDirs) > 0 || len(storeDirs) > 0 {
 		// Malformed loaded datasets can trip invariants deep inside the
 		// relation/query layers (they panic on schema bugs, which hand-built
 		// data can reproduce); convert those into CLI errors instead of
@@ -133,25 +178,18 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 				err = fmt.Errorf("invalid dataset: %v", r)
 			}
 		}()
-		if len(dataDirs) > 1 {
-			a, err = newAppFromShards(dataDirs, *parallelism, stderr)
-		} else {
-			a, err = newAppFromData(dataDirs[0], *parallelism, stderr)
-		}
-	} else {
-		cfg := ehr.Tiny()
-		switch *scale {
-		case "tiny":
-		case "small":
-			cfg = ehr.Small()
-		case "medium":
-			cfg = ehr.Medium()
-		default:
-			fmt.Fprintf(stderr, "ebaudit: unknown scale %q\n", *scale)
-			return errUsage
-		}
-		cfg.Seed = *seed
-		a = newApp(cfg, *parallelism)
+	}
+	switch {
+	case len(storeDirs) > 1:
+		a, err = newAppFromShardStores(storeDirs, dataDirs, *parallelism, stderr)
+	case len(storeDirs) == 1:
+		a, err = newAppFromStore(storeDirs[0], dataDirs, gen, *parallelism, stderr)
+	case len(dataDirs) > 1:
+		a, err = newAppFromShards(dataDirs, *parallelism, stderr)
+	case len(dataDirs) == 1:
+		a, err = newAppFromData(dataDirs[0], *parallelism, stderr)
+	default:
+		a, err = gen()
 	}
 	if err != nil {
 		return err
@@ -183,8 +221,9 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR[,DIR...]] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
+	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR[,DIR...]] [-store DIR[,DIR...]] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
 	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals), -stream (NDJSON reports in log order, bounded memory), -shards K (federated shard-parallel audit), -follow (poll -data for appended rows, incremental refresh; with -poll D, -follow-rows N)")
+	fmt.Fprintln(w, "  export flags: -dir DIR, -format csv|store")
 }
 
 // app holds the prepared auditor — a single engine, or a federation of
@@ -200,6 +239,10 @@ type app struct {
 	// ("" for generated datasets and multi-directory federations); audit
 	// -follow polls it for appended log rows.
 	dataDir string
+	// store, when non-nil, is the open segment store behind db: audit saves
+	// a warm-start snapshot into it, and audit -follow additionally
+	// persists each appended log batch as a durable segment record.
+	store *store.Store
 	// parallelism is the batch engine's worker count.
 	parallelism    int
 	stdout, stderr io.Writer
@@ -245,18 +288,27 @@ func loadDatabase(dir string) (*relation.Database, error) {
 	if loaded == 0 {
 		return nil, fmt.Errorf("no .csv tables found in %s", dir)
 	}
+	if err := validateLogSchema(db); err != nil {
+		return nil, fmt.Errorf("dataset in %s: %w", dir, err)
+	}
+	return db, nil
+}
+
+// validateLogSchema checks the audit-log contract a loaded or store-opened
+// database must satisfy before the query layer sees it: a Log table with
+// the required columns.
+func validateLogSchema(db *relation.Database) error {
 	log := db.Table(pathmodel.LogTable)
 	if log == nil {
-		return nil, fmt.Errorf("dataset in %s has no %s table (expected %s.csv)",
-			dir, pathmodel.LogTable, pathmodel.LogTable)
+		return fmt.Errorf("has no %s table", pathmodel.LogTable)
 	}
 	for _, col := range pathmodel.RequiredLogColumns() {
 		if !log.HasColumn(col) {
-			return nil, fmt.Errorf("%s table lacks required column %q (have %s)",
+			return fmt.Errorf("%s table lacks required column %q (have %s)",
 				pathmodel.LogTable, col, strings.Join(log.Columns(), ", "))
 		}
 	}
-	return db, nil
+	return nil
 }
 
 // newAppFromData builds the auditor over a loaded database. Catalog
@@ -271,6 +323,15 @@ func newAppFromData(dir string, parallelism int, stderr io.Writer) (*app, error)
 	if err != nil {
 		return nil, err
 	}
+	return buildAppFromDB(db, dir, parallelism, stderr), nil
+}
+
+// buildAppFromDB wires the single-engine auditor over an externally
+// constructed database — a -data CSV load or a store open — with the
+// shared policy: reuse a present Groups table as-is (train one only when
+// absent), and register every catalog template whose event tables the
+// database actually has.
+func buildAppFromDB(db *relation.Database, dataDir string, parallelism int, stderr io.Writer) *app {
 	graph := ehr.SchemaGraph(ehr.DefaultGraphOptions())
 	a := core.NewAuditor(db, graph)
 	var hier *groups.Hierarchy
@@ -285,7 +346,112 @@ func newAppFromData(dir string, parallelism int, stderr io.Writer) (*app, error)
 		}
 		a.AddTemplates(t)
 	}
-	return &app{db: db, auditor: a, hier: hier, dataDir: dir, parallelism: parallelism}, nil
+	return &app{db: db, auditor: a, hier: hier, dataDir: dataDir, parallelism: parallelism}
+}
+
+// newAppFromStore opens a single-engine app over a segment store,
+// migrating into a new store first when dir does not hold one: from the
+// single -data CSV directory if given, otherwise from the generated
+// dataset. Opening an existing store also tries the store's warm-start
+// snapshot — masks and compiled plans resume where the previous session
+// left off when the snapshot still matches the database, and are discarded
+// (never partially trusted) when it does not.
+func newAppFromStore(dir string, dataDirs []string, gen func() (*app, error), parallelism int, stderr io.Writer) (*app, error) {
+	if !store.IsStore(dir) {
+		var a *app
+		var err error
+		switch len(dataDirs) {
+		case 0:
+			a, err = gen()
+		case 1:
+			a, err = newAppFromData(dataDirs[0], parallelism, stderr)
+		default:
+			return nil, fmt.Errorf("a single -store cannot be migrated from %d -data shards; give one -store per shard", len(dataDirs))
+		}
+		if err != nil {
+			return nil, err
+		}
+		s, err := store.Create(dir, a.db)
+		if err != nil {
+			return nil, err
+		}
+		a.store = s
+		fmt.Fprintf(stderr, "ebaudit: created store %s (%d tables)\n", dir, len(a.db.TableNames()))
+		return a, nil
+	}
+
+	if len(dataDirs) > 1 {
+		return nil, errors.New("a single -store cannot be combined with a multi-directory -data federation")
+	}
+	s, db, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateLogSchema(db); err != nil {
+		return nil, fmt.Errorf("store %s: %w", dir, err)
+	}
+	dataDir := ""
+	if len(dataDirs) == 1 {
+		dataDir = dataDirs[0]
+	}
+	a := buildAppFromDB(db, dataDir, parallelism, stderr)
+	a.store = s
+	ws, err := s.LoadWarmState(db)
+	switch {
+	case err == nil:
+		masks, plans := a.auditor.InstallWarmState(ws)
+		fmt.Fprintf(stderr, "ebaudit: warm start from %s: %d masks, %d plans restored\n",
+			dir, masks, plans)
+	case errors.Is(err, store.ErrStaleSnapshot):
+		fmt.Fprintf(stderr, "ebaudit: %v (starting cold)\n", err)
+	case errors.Is(err, store.ErrNoSnapshot):
+		// Nothing to resume; a cold start is the ordinary first run.
+	default:
+		return nil, err
+	}
+	return a, nil
+}
+
+// newAppFromShardStores builds a federated app with one segment store per
+// shard. Each shard store is opened if present, else migrated from the
+// -data directory at the same list position. Federation retrains the
+// merged-log Groups table on every start (a schema mutation), so shard
+// warm-start snapshots would always be stale; they are simply not
+// consulted here — shards gain the storage format and crash recovery,
+// single-engine runs additionally gain warm resume.
+func newAppFromShardStores(storeDirs, dataDirs []string, parallelism int, stderr io.Writer) (*app, error) {
+	if len(dataDirs) > 0 && len(dataDirs) != len(storeDirs) {
+		return nil, fmt.Errorf("-store lists %d shards but -data lists %d; the lists pair up by position", len(storeDirs), len(dataDirs))
+	}
+	dbs := make([]*relation.Database, len(storeDirs))
+	names := make([]string, len(storeDirs))
+	for i, dir := range storeDirs {
+		if store.IsStore(dir) {
+			_, db, err := store.Open(dir)
+			if err != nil {
+				return nil, err
+			}
+			if err := validateLogSchema(db); err != nil {
+				return nil, fmt.Errorf("store %s: %w", dir, err)
+			}
+			dbs[i] = db
+		} else {
+			if len(dataDirs) == 0 {
+				return nil, fmt.Errorf("store shard %s does not exist and there is no -data shard to migrate it from", dir)
+			}
+			db, err := loadDatabase(dataDirs[i])
+			if err != nil {
+				return nil, fmt.Errorf("shard %s: %w", dataDirs[i], err)
+			}
+			if _, err := store.Create(dir, db); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(stderr, "ebaudit: created store %s (%d tables)\n", dir, len(db.TableNames()))
+			dbs[i] = db
+		}
+		names[i] = filepath.Base(filepath.Clean(dir))
+	}
+	return federateApp(dbs, names, parallelism, stderr)
 }
 
 // newAppFromShards builds a federated app over several loaded directories,
@@ -305,6 +471,13 @@ func newAppFromShards(dirs []string, parallelism int, stderr io.Writer) (*app, e
 		dbs[i] = db
 		names[i] = filepath.Base(filepath.Clean(dir))
 	}
+	return federateApp(dbs, names, parallelism, stderr)
+}
+
+// federateApp joins per-shard databases into the federated app, skipping
+// catalog templates any shard is missing tables for — shared by the CSV
+// and store shard loaders so the two cannot drift apart.
+func federateApp(dbs []*relation.Database, names []string, parallelism int, stderr io.Writer) (*app, error) {
 	fed, err := federate.Join(dbs, ehr.SchemaGraph(ehr.DefaultGraphOptions()),
 		federate.WithShardNames(names...))
 	if err != nil {
@@ -383,6 +556,18 @@ func missingTables(db *relation.Database, t explain.Template) []string {
 	}
 	sort.Strings(missing)
 	return missing
+}
+
+// saveWarmState persists the auditor's current derived state — cached
+// template masks and resident compiled-plan keys — into the app's store so
+// the next session over the same store resumes warm. It is a no-op without
+// a store or for a federated app (shard snapshots would be invalidated by
+// the federation's per-start Groups retraining anyway).
+func (a *app) saveWarmState() error {
+	if a.store == nil || a.auditor == nil {
+		return nil
+	}
+	return a.store.SaveWarmState(a.db, a.auditor.CaptureWarmState())
 }
 
 // patientName resolves a display name, falling back to raw ids for loaded
@@ -561,6 +746,9 @@ func (a *app) audit(args []string) error {
 		}
 		fmt.Fprintf(a.stdout, "  L%-6d %s  %-22s -> %s\n", r.Lid, r.Date, r.UserName, a.patientName(r.Patient))
 	}
+	if fed == nil {
+		return a.saveWarmState()
+	}
 	return nil
 }
 
@@ -638,7 +826,7 @@ func (a *app) auditStream(workers int, verbose bool) error {
 	if verbose {
 		a.printEngineStats(a.stderr, workers)
 	}
-	return nil
+	return a.saveWarmState()
 }
 
 // printEngineStats reports the shared query-engine internals: plan-cache
@@ -692,8 +880,13 @@ func (a *app) auditFollow(workers int, poll time.Duration, stopRows int, verbose
 	fmt.Fprintf(a.stderr, "following %s: %d reports emitted, polling every %v\n",
 		a.dataDir, audited, poll)
 	// A follow session usually ends by interruption (no defers run), so
-	// the -v stats print after the catch-up and after every appended batch
-	// rather than on return.
+	// durable state is written after the catch-up and after every appended
+	// batch rather than on return: kill the process at any point and the
+	// store holds every audited row plus a snapshot of the masks that
+	// audited them, so the next session resumes warm instead of rebuilding.
+	if err := a.saveWarmState(); err != nil {
+		return err
+	}
 	if verbose {
 		a.printEngineStats(a.stderr, workers)
 	}
@@ -710,6 +903,18 @@ func (a *app) auditFollow(workers int, poll time.Duration, stopRows int, verbose
 		if added == 0 {
 			continue
 		}
+		if a.store != nil {
+			// Persist the batch before auditing it: one checksummed segment
+			// record per poll, synced, so a crash between here and the
+			// snapshot save below loses derived state but never rows.
+			rows := make([][]relation.Value, added)
+			for i := range rows {
+				rows[i] = log.Row(audited + i)
+			}
+			if err := a.store.AppendRows(pathmodel.LogTable, rows); err != nil {
+				return err
+			}
+		}
 		if err := a.auditor.Refresh(ctx, workers); err != nil {
 			return err
 		}
@@ -722,6 +927,9 @@ func (a *app) auditFollow(workers int, poll time.Duration, stopRows int, verbose
 			return err
 		}
 		audited += added
+		if err := a.saveWarmState(); err != nil {
+			return err
+		}
 		fmt.Fprintf(a.stderr, "appended %d rows (%d audited)\n", added, audited)
 		if verbose {
 			a.printEngineStats(a.stderr, workers)
@@ -976,8 +1184,23 @@ func (a *app) export(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ContinueOnError)
 	fs.SetOutput(a.stderr)
 	dir := fs.String("dir", "ebaudit-export", "output directory")
+	format := fs.String("format", "csv", "output format: csv (typed CSVs) or store (binary segment store, see -store)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *format {
+	case "csv":
+	case "store":
+		if _, err := store.Create(*dir, a.db); err != nil {
+			return err
+		}
+		for _, name := range a.db.TableNames() {
+			fmt.Fprintf(a.stdout, "wrote %s (%d rows)\n",
+				filepath.Join(*dir, name+".seg"), a.db.MustTable(name).NumRows())
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown export format %q (want csv or store)", *format)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err

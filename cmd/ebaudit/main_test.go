@@ -68,12 +68,12 @@ func TestRunDataErrors(t *testing.T) {
 		{
 			name:    "short csv row",
 			files:   map[string]string{"Log.csv": "Lid:int,Date:date,User:int,Patient:int\n1,1,100\n"},
-			wantSub: "row 1 has 3 fields, want 4",
+			wantSub: "line 2 has 3 fields, want 4",
 		},
 		{
 			name:    "non-numeric int cell",
 			files:   map[string]string{"Log.csv": "Lid:int,Date:date,User:int,Patient:int\nabc,1,100,7\n"},
-			wantSub: "row 1 column Lid",
+			wantSub: "line 2 column Lid",
 		},
 	}
 	for _, tc := range cases {

@@ -22,7 +22,13 @@
 // this reason). Everything else follows the usual rule: publish, then read.
 package bitset
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+)
 
 // Bits is a fixed-length sequence of bits packed 64 to a word. The zero
 // value is an empty bitset; use New (or Grow) for a sized one. Bits beyond
@@ -172,6 +178,81 @@ func (b *Bits) Bools() []bool {
 		}
 	}
 	return out
+}
+
+// maxSerializedBits bounds the declared length ReadFrom will accept (one
+// billion rows ≈ 120 MB of words). The limit exists so a corrupt or
+// adversarial header cannot make ReadFrom attempt an absurd allocation; it
+// is far above any log the engine can hold in memory anyway.
+const maxSerializedBits = 1 << 30
+
+// WriteTo serializes the bitset: a uvarint bit length followed by the
+// packed words in little-endian order. The format is the storage layer's
+// warm-start mask encoding; ReadFrom restores it exactly. It implements
+// io.WriterTo.
+func (b *Bits) WriteTo(w io.Writer) (int64, error) {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(b.n))
+	written, err := w.Write(hdr[:n])
+	total := int64(written)
+	if err != nil {
+		return total, err
+	}
+	buf := make([]byte, 8*len(b.words))
+	for i, word := range b.words {
+		binary.LittleEndian.PutUint64(buf[8*i:], word)
+	}
+	written, err = w.Write(buf)
+	return total + int64(written), err
+}
+
+// ReadFrom deserializes a bitset previously written by WriteTo, replacing
+// the receiver's contents. It implements io.ReaderFrom. A malformed stream
+// — a truncated word list, an absurd declared length, or set bits beyond
+// the declared length (the tail-zero invariant every operation relies on) —
+// is an error, and the receiver is left unusable; callers restoring cached
+// state should discard the snapshot rather than trust a partial mask.
+func (b *Bits) ReadFrom(r io.Reader) (int64, error) {
+	br := &countingByteReader{r: r}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return br.count, fmt.Errorf("bitset: reading length: %w", err)
+	}
+	if n > maxSerializedBits {
+		return br.count, fmt.Errorf("bitset: declared length %d exceeds limit", n)
+	}
+	words := make([]uint64, wordsFor(int(n)))
+	buf := make([]byte, 8*len(words))
+	read, err := io.ReadFull(r, buf)
+	total := br.count + int64(read)
+	if err != nil {
+		return total, fmt.Errorf("bitset: reading %d words: %w", len(words), err)
+	}
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	b.n = int(n)
+	b.words = words
+	if r := uint(b.n) & 63; r != 0 && len(b.words) > 0 {
+		if b.words[len(b.words)-1]&^((1<<r)-1) != 0 {
+			return total, errors.New("bitset: set bits beyond declared length")
+		}
+	}
+	return total, nil
+}
+
+// countingByteReader adapts an io.Reader to io.ByteReader for ReadUvarint
+// while tracking bytes consumed, so ReadFrom can report an exact count.
+type countingByteReader struct {
+	r     io.Reader
+	count int64
+}
+
+func (c *countingByteReader) ReadByte() (byte, error) {
+	var one [1]byte
+	n, err := io.ReadFull(c.r, one[:])
+	c.count += int64(n)
+	return one[0], err
 }
 
 // Union returns the word-level OR of the given bitsets (nil for none), each

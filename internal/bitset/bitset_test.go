@@ -1,6 +1,8 @@
 package bitset
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 )
@@ -176,5 +178,79 @@ func TestOutOfRangePanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestSerializeRoundTrip pins the WriteTo/ReadFrom format: arbitrary
+// bitsets — including ragged lengths with nonzero tails and the empty set —
+// must restore exactly, and the byte count both sides report must match the
+// stream length.
+func TestSerializeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(300)
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		var buf bytes.Buffer
+		wrote, err := b.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: WriteTo: %v", n, err)
+		}
+		if wrote != int64(buf.Len()) {
+			t.Fatalf("n=%d: WriteTo reported %d bytes, wrote %d", n, wrote, buf.Len())
+		}
+		got := New(0)
+		read, err := got.ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("n=%d: ReadFrom: %v", n, err)
+		}
+		if read != wrote {
+			t.Fatalf("n=%d: ReadFrom consumed %d bytes, want %d", n, read, wrote)
+		}
+		if got.Len() != b.Len() || got.Count() != b.Count() {
+			t.Fatalf("n=%d: len/count = %d/%d, want %d/%d", n, got.Len(), got.Count(), b.Len(), b.Count())
+		}
+		for i := 0; i < n; i++ {
+			if got.Get(i) != b.Get(i) {
+				t.Fatalf("n=%d: bit %d = %v, want %v", n, i, got.Get(i), b.Get(i))
+			}
+		}
+	}
+}
+
+// TestSerializeRejectsCorruption: truncated streams, an absurd declared
+// length, and tail bits set beyond the declared length must all be errors —
+// a warm-start loader must never trust a damaged mask.
+func TestSerializeRejectsCorruption(t *testing.T) {
+	b := New(100)
+	b.Set(3)
+	b.Set(99)
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := New(0).ReadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation to %d bytes: ReadFrom succeeded", cut)
+		}
+	}
+
+	huge := binary.AppendUvarint(nil, 1<<40)
+	if _, err := New(0).ReadFrom(bytes.NewReader(huge)); err == nil {
+		t.Error("absurd declared length: ReadFrom succeeded")
+	}
+
+	// Declared length 100 needs 2 words; setting a bit in word 1 beyond bit
+	// 100-64=36 violates the tail-zero invariant.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-1] |= 0x80 // bit 127
+	if _, err := New(0).ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("tail bits beyond declared length: ReadFrom succeeded")
 	}
 }

@@ -24,6 +24,24 @@ func TemplateTables(t Template) (tables []string, ok bool) {
 	}
 }
 
+// TemplatePath returns the closed path behind a path-backed template — a
+// PathTemplate's own path, or a DecoratedTemplate's base — and whether the
+// template type exposes one. The warm-start layer uses it to map a
+// snapshot's recorded plan-cache keys back to concrete paths it can
+// re-prepare; note a decorated template's per-row search does not itself go
+// through the plan cache, so its base path only warms anything when some
+// plain path template shares the same canonical condition set.
+func TemplatePath(t Template) (pathmodel.Path, bool) {
+	switch tpl := t.(type) {
+	case *PathTemplate:
+		return tpl.Path, true
+	case *DecoratedTemplate:
+		return tpl.Decorated.Base, true
+	default:
+		return pathmodel.Path{}, false
+	}
+}
+
 // pathTables lists the distinct table names of a path's non-log instances
 // and bridge hops, plus the Log table when the path self-joins it.
 func pathTables(p pathmodel.Path) []string {

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -375,6 +376,24 @@ func (ev *Evaluator) InvalidatePlans() {
 	eng.plans = make(map[string]*cachedPlan)
 	eng.planVersion = eng.db.SchemaVersion()
 	eng.planMu.Unlock()
+}
+
+// PlanCacheKeys returns the canonical condition key of every plan currently
+// resident in the engine's shared cache, sorted. The keys are the durable
+// identity of the cache's contents: the warm-start layer records them in a
+// snapshot, and a restarted engine re-Prepares the template paths whose
+// canonical keys match, rebuilding an equivalent cache without replaying
+// the workload that populated it.
+func (ev *Evaluator) PlanCacheKeys() []string {
+	eng := ev.engine
+	eng.planMu.RLock()
+	keys := make([]string, 0, len(eng.plans))
+	for k := range eng.plans {
+		keys = append(keys, k)
+	}
+	eng.planMu.RUnlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // PlanCacheStats is a snapshot of the engine-wide plan-cache counters:

@@ -11,8 +11,11 @@ import (
 
 // Dump writes the table as CSV with a typed header. Each header cell is
 // "name:kind" with kind one of int, string, or date; null cells are written
-// as the empty string with a trailing marker handled by Load. The format
-// round-trips through Load.
+// as the sentinel `\N`. A string value that could be mistaken for the
+// sentinel — one or more backslashes followed by N, such as the literal
+// string `\N` itself — is escaped with one extra leading backslash, which
+// Load strips, so every value round-trips exactly. The format round-trips
+// through Load.
 func (t *Table) Dump(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	cw := csv.NewWriter(bw)
@@ -49,7 +52,11 @@ func (t *Table) Dump(w io.Writer) error {
 			case KindInt, KindDate:
 				record[i] = strconv.FormatInt(v.Int, 10)
 			case KindString:
-				record[i] = v.Str
+				if sentinelLike(v.Str) {
+					record[i] = `\` + v.Str
+				} else {
+					record[i] = v.Str
+				}
 			}
 		}
 		if err := cw.Write(record); err != nil {
@@ -94,43 +101,67 @@ func Load(name string, r io.Reader) (*Table, error) {
 	}
 	t := NewTable(name, columns...)
 
-	rowNum := 1
+	// line is the file line a malformed record is reported at. The header
+	// occupies line 1, so the first data record is line 2 — the number an
+	// editor or `sed -n` shows for the offending row (the export format
+	// never quotes, so records never span lines).
+	line := 2
 	for {
 		record, err := cr.Read()
 		if err == io.EOF {
 			return t, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("relation: load %s: row %d: %w", name, rowNum, err)
+			return nil, fmt.Errorf("relation: load %s: line %d: %w", name, line, err)
 		}
 		if len(record) != len(columns) {
-			return nil, fmt.Errorf("relation: load %s: row %d has %d fields, want %d",
-				name, rowNum, len(record), len(columns))
+			return nil, fmt.Errorf("relation: load %s: line %d has %d fields, want %d",
+				name, line, len(record), len(columns))
 		}
 		row := make([]Value, len(columns))
 		for i, cell := range record {
-			if cell == "\\N" {
+			if cell == `\N` {
 				row[i] = Null()
 				continue
 			}
 			switch kinds[i] {
 			case KindString:
+				if len(cell) > 1 && cell[0] == '\\' && sentinelLike(cell[1:]) {
+					cell = cell[1:] // Dump escaped a sentinel-like literal
+				}
 				row[i] = String(cell)
 			case KindInt:
 				n, err := strconv.ParseInt(cell, 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("relation: load %s: row %d column %s: %w", name, rowNum, columns[i], err)
+					return nil, fmt.Errorf("relation: load %s: line %d column %s: %w", name, line, columns[i], err)
 				}
 				row[i] = Int(n)
 			case KindDate:
 				n, err := strconv.ParseInt(cell, 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("relation: load %s: row %d column %s: %w", name, rowNum, columns[i], err)
+					return nil, fmt.Errorf("relation: load %s: line %d column %s: %w", name, line, columns[i], err)
 				}
 				row[i] = Date(int(n))
 			}
 		}
 		t.Append(row...)
-		rowNum++
+		line++
 	}
+}
+
+// sentinelLike reports whether s collides with the null sentinel's escape
+// space: one or more backslashes followed by a final N. Dump prepends one
+// backslash to such strings and Load strips it, a bijection that keeps `\N`
+// itself unambiguous (the literal string `\N` dumps as `\\N`, `\\N` as
+// `\\\N`, and so on).
+func sentinelLike(s string) bool {
+	if len(s) < 2 || s[len(s)-1] != 'N' {
+		return false
+	}
+	for i := 0; i < len(s)-1; i++ {
+		if s[i] != '\\' {
+			return false
+		}
+	}
+	return true
 }

@@ -119,3 +119,94 @@ func randomString(r *rand.Rand) string {
 	}
 	return string(out)
 }
+
+// TestNullSentinelEscaping pins the `\N` ambiguity fix: a literal string
+// value `\N` (or any run of backslashes ending in N) must survive the
+// round trip as a string, while a genuine Null still loads as Null. Before
+// the escape, `\N` dumped verbatim and loaded back as Null.
+func TestNullSentinelEscaping(t *testing.T) {
+	adversarial := []string{`\N`, `\\N`, `\\\N`, `N`, `\`, `\M`, `x\N`, `\Nx`, ""}
+	tb := NewTable("T", "S", "Nul")
+	for _, s := range adversarial {
+		tb.Append(String(s), Null())
+	}
+	var buf bytes.Buffer
+	if err := tb.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load("T", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != len(adversarial) {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), len(adversarial))
+	}
+	for r, s := range adversarial {
+		if v := got.Row(r)[0]; v != String(s) {
+			t.Errorf("row %d: string %q loaded as %v", r, s, v)
+		}
+		if v := got.Row(r)[1]; !v.IsNull() {
+			t.Errorf("row %d: null loaded as %v", r, v)
+		}
+	}
+}
+
+// TestLoadErrorLineNumbers pins the off-by-one fix: the header is file line
+// 1, so a malformed first data record must be reported at line 2 (what an
+// editor shows), not "row 1".
+func TestLoadErrorLineNumbers(t *testing.T) {
+	cases := map[string]struct {
+		input string
+		want  string
+	}{
+		"first data row": {"A:int\nxyz\n", "line 2"},
+		"third data row": {"A:int\n1\n2\nxyz\n", "line 4"},
+		"ragged row":     {"A:int,B:int\n1,2\n3\n", "line 3"},
+	}
+	for name, tc := range cases {
+		_, err := Load("T", strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: Load succeeded, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", name, err, tc.want)
+		}
+	}
+}
+
+// FuzzValueRoundTrip feeds arbitrary string cells through the Dump/Load
+// loop: every string — seeded with the adversarial null-sentinel family —
+// must come back exactly, next to a Null that must stay Null.
+func FuzzValueRoundTrip(f *testing.F) {
+	for _, s := range []string{`\N`, `\\N`, `\\\N`, `N`, `\`, "", "plain", "a,b\nc"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if strings.ContainsRune(s, '\r') {
+			// encoding/csv normalizes CRLF inside quoted fields to LF on
+			// read; carriage returns are outside the format's round-trip
+			// contract (no generator emits them).
+			t.Skip("carriage returns are not round-trip safe in CSV")
+		}
+		tb := NewTable("T", "S", "Nul")
+		tb.Append(String(s), Null())
+		var buf bytes.Buffer
+		if err := tb.Dump(&buf); err != nil {
+			t.Fatalf("%q: Dump: %v", s, err)
+		}
+		got, err := Load("T", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%q: Load: %v", s, err)
+		}
+		if got.NumRows() != 1 {
+			t.Fatalf("%q: rows = %d", s, got.NumRows())
+		}
+		if v := got.Row(0)[0]; v != String(s) {
+			t.Errorf("string %q loaded as %v", s, v)
+		}
+		if v := got.Row(0)[1]; !v.IsNull() {
+			t.Errorf("%q: null loaded as %v", s, v)
+		}
+	})
+}

@@ -1,0 +1,359 @@
+// Package store is the persistence subsystem behind relation.Database: an
+// append-only binary log-segment format plus a durable warm-start snapshot,
+// so a restarted process reopens its tables from disk instead of reparsing
+// CSVs and resumes auditing with its cached masks and compiled-plan keys
+// instead of a cold rebuild.
+//
+// A store directory holds one segment file per table (<name>.seg), a small
+// JSON manifest (schema and row-count watermarks), and optionally one
+// warm-start snapshot (see WarmState). Segments are sequences of
+// length-prefixed, checksummed records over a typed value encoding that
+// reuses the relation.Value kinds; they are written once by Create and
+// then only ever appended to (AppendRows), which is exactly the shape an
+// access log grows in. Recovery follows the write-ahead-log convention: a
+// torn tail — a record cut mid-write by a crash — is detected by its
+// length or checksum and truncated away on Open, so the store always
+// reopens to a valid prefix of what was written (the same contract the
+// CLI's follow mode applies to torn CSV rows).
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/relation"
+)
+
+// segMagic opens every segment file; a file without it is not a segment.
+const segMagic = "EBSEG01\n"
+
+// Sanity bounds on declared sizes, so a corrupt length prefix cannot force
+// an absurd allocation: records are written in batches of segBatchRows
+// rows, far below these limits.
+const (
+	maxRecordLen = 1 << 28 // 256 MB per record
+	maxColumns   = 1 << 16
+)
+
+// segBatchRows is the row count Create packs into one record. Batching
+// amortizes the 8-byte frame and one checksum across many rows while
+// keeping each record small enough to decode incrementally.
+const segBatchRows = 4096
+
+// crcTable is the Castagnoli polynomial, the usual storage-checksum choice
+// (hardware-accelerated on the platforms that matter).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// kindNames maps relation value kinds to the manifest's kind strings,
+// matching the CSV header vocabulary.
+var kindNames = map[relation.Kind]string{
+	relation.KindInt:    "int",
+	relation.KindString: "string",
+	relation.KindDate:   "date",
+}
+
+// appendRecord frames payload — length prefix, checksum, bytes — onto buf.
+func appendRecord(buf, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// appendValue encodes one typed value: a kind byte, then the payload —
+// nothing for null, a zigzag varint for ints and dates, a length-prefixed
+// byte string for strings.
+func appendValue(buf []byte, v relation.Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case relation.KindNull:
+	case relation.KindInt, relation.KindDate:
+		buf = binary.AppendVarint(buf, v.Int)
+	case relation.KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+		buf = append(buf, v.Str...)
+	default:
+		panic(fmt.Sprintf("store: unencodable value kind %d", v.Kind))
+	}
+	return buf
+}
+
+// decodeValue decodes one value at data[pos:], returning the value and the
+// next position.
+func decodeValue(data []byte, pos int) (relation.Value, int, error) {
+	if pos >= len(data) {
+		return relation.Value{}, 0, errors.New("store: value truncated")
+	}
+	kind := relation.Kind(data[pos])
+	pos++
+	switch kind {
+	case relation.KindNull:
+		return relation.Null(), pos, nil
+	case relation.KindInt, relation.KindDate:
+		n, w := binary.Varint(data[pos:])
+		if w <= 0 {
+			return relation.Value{}, 0, errors.New("store: malformed varint")
+		}
+		return relation.Value{Kind: kind, Int: n}, pos + w, nil
+	case relation.KindString:
+		sz, w := binary.Uvarint(data[pos:])
+		if w <= 0 {
+			return relation.Value{}, 0, errors.New("store: malformed string length")
+		}
+		pos += w
+		if sz > uint64(len(data)-pos) {
+			return relation.Value{}, 0, errors.New("store: string length exceeds record")
+		}
+		return relation.String(string(data[pos : pos+int(sz)])), pos + int(sz), nil
+	default:
+		return relation.Value{}, 0, fmt.Errorf("store: unknown value kind %d", kind)
+	}
+}
+
+// segmentHeader is the decoded first record of a segment: the column names
+// and their advisory kinds (each stored value carries its own kind byte;
+// the header kinds exist for schema validation and the manifest).
+type segmentHeader struct {
+	columns []string
+	kinds   []string
+}
+
+// encodeHeader builds the header record payload.
+func encodeHeader(h segmentHeader) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(h.columns)))
+	for i, c := range h.columns {
+		buf = binary.AppendUvarint(buf, uint64(len(c)))
+		buf = append(buf, c...)
+		buf = binary.AppendUvarint(buf, uint64(len(h.kinds[i])))
+		buf = append(buf, h.kinds[i]...)
+	}
+	return buf
+}
+
+// decodeHeader parses a header record payload.
+func decodeHeader(payload []byte) (segmentHeader, error) {
+	var h segmentHeader
+	ncols, w := binary.Uvarint(payload)
+	if w <= 0 || ncols > maxColumns {
+		return h, errors.New("store: malformed segment header")
+	}
+	pos := w
+	readStr := func() (string, error) {
+		sz, w := binary.Uvarint(payload[pos:])
+		if w <= 0 || sz > uint64(len(payload)-pos-w) {
+			return "", errors.New("store: malformed segment header string")
+		}
+		pos += w
+		s := string(payload[pos : pos+int(sz)])
+		pos += int(sz)
+		return s, nil
+	}
+	for i := uint64(0); i < ncols; i++ {
+		col, err := readStr()
+		if err != nil {
+			return h, err
+		}
+		kind, err := readStr()
+		if err != nil {
+			return h, err
+		}
+		h.columns = append(h.columns, col)
+		h.kinds = append(h.kinds, kind)
+	}
+	return h, nil
+}
+
+// inferKinds mirrors relation.Table.Dump's column typing: the kind of the
+// first non-null value, defaulting to string.
+func inferKinds(t *relation.Table) []string {
+	kinds := make([]string, len(t.Columns()))
+	for i := range kinds {
+		kinds[i] = "string"
+		for r := 0; r < t.NumRows(); r++ {
+			if name, ok := kindNames[t.Row(r)[i].Kind]; ok {
+				kinds[i] = name
+				break
+			}
+		}
+	}
+	return kinds
+}
+
+// writeSegment writes a complete segment file for t at path: magic, header
+// record, then the rows in batch records.
+func writeSegment(path string, t *relation.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.WriteString(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	hdr := segmentHeader{columns: t.Columns(), kinds: inferKinds(t)}
+	if _, err := bw.Write(appendRecord(nil, encodeHeader(hdr))); err != nil {
+		f.Close()
+		return err
+	}
+	for lo := 0; lo < t.NumRows(); lo += segBatchRows {
+		hi := min(lo+segBatchRows, t.NumRows())
+		if _, err := bw.Write(appendRecord(nil, encodeRowBatch(t, lo, hi))); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// encodeRowBatch builds one data-record payload holding t's rows [lo, hi).
+func encodeRowBatch(t *relation.Table, lo, hi int) []byte {
+	buf := binary.AppendUvarint(nil, uint64(hi-lo))
+	for r := lo; r < hi; r++ {
+		for _, v := range t.Row(r) {
+			buf = appendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// encodeRows is encodeRowBatch over a raw row slice (the append path).
+func encodeRows(rows [][]relation.Value) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(rows)))
+	for _, row := range rows {
+		for _, v := range row {
+			buf = appendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// decodeRowBatch appends a data record's rows to t. Every row must have
+// exactly ncols values and consume the payload completely.
+func decodeRowBatch(payload []byte, ncols int, t *relation.Table) error {
+	nrows, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return errors.New("store: malformed record row count")
+	}
+	pos := w
+	row := make([]relation.Value, ncols)
+	for r := uint64(0); r < nrows; r++ {
+		for c := 0; c < ncols; c++ {
+			v, next, err := decodeValue(payload, pos)
+			if err != nil {
+				return err
+			}
+			row[c] = v
+			pos = next
+		}
+		t.Append(row...)
+	}
+	if pos != len(payload) {
+		return errors.New("store: record has trailing bytes")
+	}
+	return nil
+}
+
+// scanResult is what readSegment recovered: the table (nil if even the
+// header was unreadable), and the byte offset of the first invalid record —
+// the torn-tail truncation point (equal to the file size when the segment
+// is fully valid).
+type scanResult struct {
+	table    *relation.Table
+	validEnd int64
+	fileSize int64
+}
+
+// readSegment streams the segment at path into a fresh table named name,
+// stopping — without error — at the first torn or corrupt data record, as
+// a WAL reader stops at the first invalid entry. Each record is verified
+// against its checksum before a single value is decoded, so a torn tail
+// can never contribute rows. Decoded batches feed Table.Append directly;
+// the file is never materialized whole.
+func readSegment(path, name string) (scanResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return scanResult{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return scanResult{}, err
+	}
+	res := scanResult{fileSize: st.Size()}
+
+	br := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
+		return res, fmt.Errorf("store: %s is not a segment file", path)
+	}
+	off := int64(len(segMagic))
+
+	// The header record must be intact: without a schema nothing after it
+	// can be interpreted, and Create writes it in the same burst as the
+	// magic, so a torn header means the segment never finished being born.
+	hdrPayload, n, ok := readRecord(br, res.fileSize-off)
+	off += n
+	if !ok {
+		return res, fmt.Errorf("store: %s: segment header corrupt", path)
+	}
+	hdr, err := decodeHeader(hdrPayload)
+	if err != nil {
+		return res, fmt.Errorf("store: %s: %w", path, err)
+	}
+	t := relation.NewTable(name, hdr.columns...)
+	res.table = t
+	res.validEnd = off
+
+	for {
+		payload, n, ok := readRecord(br, res.fileSize-off)
+		if !ok {
+			return res, nil // torn tail: valid prefix ends at res.validEnd
+		}
+		off += n
+		if err := decodeRowBatch(payload, len(hdr.columns), t); err != nil {
+			// A checksum-valid record that fails to decode is corruption the
+			// frame cannot explain; treat it like a torn tail and stop at
+			// the last good record.
+			return res, nil
+		}
+		res.validEnd = off
+	}
+}
+
+// readRecord reads one framed record, verifying length sanity and
+// checksum. remaining is the byte count left in the file; ok is false when
+// the record is torn, truncated, or corrupt (the recovery signal — never
+// an error, because a torn tail is an expected crash artifact).
+func readRecord(br *bufio.Reader, remaining int64) (payload []byte, consumed int64, ok bool) {
+	var hdr [8]byte
+	if remaining < int64(len(hdr)) {
+		return nil, 0, false
+	}
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, false
+	}
+	size := binary.LittleEndian.Uint32(hdr[0:])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if size > maxRecordLen || int64(size) > remaining-int64(len(hdr)) {
+		return nil, 0, false
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, 0, false
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, false
+	}
+	return payload, int64(len(hdr)) + int64(size), true
+}

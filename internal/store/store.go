@@ -1,0 +1,229 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relation"
+)
+
+// ManifestName is the store directory's manifest file; its presence is
+// what makes a directory a store (see IsStore).
+const ManifestName = "MANIFEST.json"
+
+// manifestFormat is the on-disk format version; Open refuses manifests
+// from a future format rather than misreading them.
+const manifestFormat = 1
+
+// manifest is the store's durable catalog: the table schemas in
+// registration order and each table's row-count watermark. Row counts are
+// watermarks, not authority — the checksummed segments are authoritative,
+// and Open reconciles the manifest after torn-tail recovery — so a crash
+// between a segment append and the manifest rewrite loses nothing.
+type manifest struct {
+	Format int             `json:"format"`
+	Tables []manifestTable `json:"tables"`
+}
+
+// manifestTable is one table's schema and row watermark.
+type manifestTable struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Kinds   []string `json:"kinds"`
+	Rows    int      `json:"rows"`
+}
+
+// Store is an open store directory. It is not synchronized: like the
+// relation.Table load phase, writes (AppendRows, SaveWarmState) require
+// exclusive access.
+type Store struct {
+	dir string
+	man manifest
+}
+
+// IsStore reports whether dir contains a store (its manifest exists).
+func IsStore(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestName))
+	return err == nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Rows returns the named table's row watermark, or -1 if the store has no
+// such table.
+func (s *Store) Rows(table string) int {
+	for _, mt := range s.man.Tables {
+		if mt.Name == table {
+			return mt.Rows
+		}
+	}
+	return -1
+}
+
+// segPath returns the segment path for a table name.
+func (s *Store) segPath(table string) string {
+	return filepath.Join(s.dir, table+".seg")
+}
+
+// Create writes a new store at dir holding every table of db — one segment
+// per table, in registration order — plus the manifest, and returns the
+// open store. An existing store at dir is overwritten table by table;
+// stray segments from a previous schema are not deleted, but the manifest
+// names only db's tables, and Open reads only manifest tables. Any
+// existing warm-start snapshot is removed: it described the previous
+// contents.
+func Create(dir string, db *relation.Database) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, man: manifest{Format: manifestFormat}}
+	for _, name := range db.TableNames() {
+		t := db.MustTable(name)
+		if err := writeSegment(s.segPath(name), t); err != nil {
+			return nil, fmt.Errorf("store: writing segment %s: %w", name, err)
+		}
+		s.man.Tables = append(s.man.Tables, manifestTable{
+			Name:    name,
+			Columns: t.Columns(),
+			Kinds:   inferKinds(t),
+			Rows:    t.NumRows(),
+		})
+	}
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	// A snapshot left over from earlier contents must never be trusted
+	// against the new ones.
+	if err := os.Remove(filepath.Join(dir, snapshotName)); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open reads the store at dir and reconstructs its database: every
+// manifest table is streamed from its segment into a relation.Table, in
+// manifest order, so the reopened database has the same table order — and
+// therefore the same schema-version arithmetic — as the session that wrote
+// it. Torn segment tails (a crash mid-append) are truncated back to the
+// last checksum-valid record before the rows are served, and the manifest
+// watermarks are reconciled to what actually survived; Open after a crash
+// is therefore equivalent to Open after a clean shutdown of the surviving
+// prefix.
+func Open(dir string) (*Store, *relation.Database, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	s := &Store{dir: dir}
+	if err := json.Unmarshal(data, &s.man); err != nil {
+		return nil, nil, fmt.Errorf("store: parsing manifest: %w", err)
+	}
+	if s.man.Format != manifestFormat {
+		return nil, nil, fmt.Errorf("store: manifest format %d not supported (want %d)", s.man.Format, manifestFormat)
+	}
+
+	db := relation.NewDatabase()
+	dirty := false
+	for i := range s.man.Tables {
+		mt := &s.man.Tables[i]
+		res, err := readSegment(s.segPath(mt.Name), mt.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if got, want := res.table.Columns(), mt.Columns; !equalStrings(got, want) {
+			return nil, nil, fmt.Errorf("store: segment %s columns %v do not match manifest %v", mt.Name, got, want)
+		}
+		if res.validEnd < res.fileSize {
+			if err := os.Truncate(s.segPath(mt.Name), res.validEnd); err != nil {
+				return nil, nil, fmt.Errorf("store: truncating torn tail of %s: %w", mt.Name, err)
+			}
+			dirty = true
+		}
+		if mt.Rows != res.table.NumRows() {
+			mt.Rows = res.table.NumRows()
+			dirty = true
+		}
+		db.AddTable(res.table)
+	}
+	if dirty {
+		if err := s.writeManifest(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, db, nil
+}
+
+// AppendRows appends rows to the named table's segment as one checksummed
+// record, syncs the segment to disk, and advances the manifest watermark.
+// This is the follow-mode persistence primitive: each poll's batch of new
+// log rows becomes one durable record, and a crash mid-write leaves a torn
+// tail the next Open truncates away. Rows must match the table's column
+// count. Appending zero rows is a no-op.
+func (s *Store) AppendRows(table string, rows [][]relation.Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	var mt *manifestTable
+	for i := range s.man.Tables {
+		if s.man.Tables[i].Name == table {
+			mt = &s.man.Tables[i]
+			break
+		}
+	}
+	if mt == nil {
+		return fmt.Errorf("store: no table %q to append to", table)
+	}
+	for _, row := range rows {
+		if len(row) != len(mt.Columns) {
+			return fmt.Errorf("store: append to %s: row has %d values, want %d", table, len(row), len(mt.Columns))
+		}
+	}
+	f, err := os.OpenFile(s.segPath(table), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(appendRecord(nil, encodeRows(rows))); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	mt.Rows += len(rows)
+	return s.writeManifest()
+}
+
+// writeManifest writes the manifest atomically (temp file + rename), so a
+// crash mid-write leaves the previous manifest intact — watermarks may lag
+// the segments, never dangle past them unreconciled.
+func (s *Store) writeManifest() error {
+	data, err := json.MarshalIndent(s.man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, "."+ManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, ManifestName))
+}
+
+// equalStrings reports element-wise equality.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
