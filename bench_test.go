@@ -432,6 +432,54 @@ func BenchmarkExplainAllMedium(b *testing.B) {
 	b.ReportMetric(worst, "live-B")
 }
 
+// benchmarkEval classifies every Medium log row through the length-4
+// department template on a fresh engine each iteration, reporting the worst
+// heap evaluation left reachable while the engine lives — the footprint a
+// long-lived plan entry pins between evaluations. The baseline is taken
+// after Prepare and the output mask is dropped before measuring, so the
+// metric isolates what evaluating retains on top of the compiled plan: the
+// materialized path keeps one propagated value set per distinct patient in
+// the shared reach memo (unbounded here, to measure the whole
+// materialization), while the lazy path memoizes per call and keeps
+// nothing.
+func benchmarkEval(b *testing.B, lazyOn bool) {
+	a := mediumAuditor(b)
+	tpl := explain.DeptTemplate("appt-same-dept", "Appointments", "an appointment")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		ev := query.NewEvaluator(a.Database())
+		ev.SetLazyEval(lazyOn)
+		ev.SetReachMemoCap(0)
+		pp := ev.Prepare(tpl.Path)
+		before := liveHeap()
+		rows := pp.ExplainedRows()
+		if len(rows) == 0 {
+			b.Fatal("empty mask")
+		}
+		rows = nil
+		_ = rows
+		if d := liveHeap() - before; d > worst {
+			worst = d
+		}
+		runtime.KeepAlive(ev)
+	}
+	if worst < 0 {
+		worst = 0
+	}
+	b.ReportMetric(worst, "live-B")
+}
+
+// BenchmarkEvalLazy is the lazy iterator execution side of the tentpole
+// comparison; its live-B should be a small constant.
+func BenchmarkEvalLazy(b *testing.B) { benchmarkEval(b, true) }
+
+// BenchmarkEvalMaterialized runs the same classification through the
+// materialized valueSet oracle; its live-B is the retained reach memo the
+// lazy path eliminates (the acceptance bar is >= 5x between the two).
+func BenchmarkEvalMaterialized(b *testing.B) { benchmarkEval(b, false) }
+
 // --- federated benchmarks --------------------------------------------------
 
 var (

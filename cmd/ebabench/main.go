@@ -6,13 +6,14 @@
 //	ebabench [-scale tiny|small|medium] [-seed N] [-experiment name] [-json]
 //
 // Experiments: fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13
-// fig14 table1 headline startup, or "all" (default).
+// fig14 table1 headline startup lazy, or "all" (default).
 //
 // With -json, a machine-readable BENCH_<n>.json snapshot of the run — the
-// dataset shape and per-experiment wall times — is written to the working
-// directory, numbered one past the highest existing snapshot. The committed
-// BENCH_*.json files form the repo's performance trajectory; CI uploads
-// each run's snapshot as an artifact.
+// dataset shape, per-experiment wall times, and any experiment-reported
+// metrics (schema 2) — is written to the working directory, numbered one
+// past the highest existing snapshot. The committed BENCH_*.json files form
+// the repo's performance trajectory; CI uploads each run's snapshot as an
+// artifact.
 package main
 
 import (
@@ -46,10 +47,13 @@ type benchSnapshot struct {
 	Experiments   []benchExperiment `json:"experiments"`
 }
 
-// benchExperiment is one experiment's wall time within a snapshot.
+// benchExperiment is one experiment's wall time within a snapshot, plus any
+// named metrics the experiment itself reports (schema 2; experiments whose
+// figure type implements Metrics() map[string]float64).
 type benchExperiment struct {
-	Name   string `json:"name"`
-	Millis int64  `json:"millis"`
+	Name    string             `json:"name"`
+	Millis  int64              `json:"millis"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -82,7 +86,7 @@ func main() {
 		env.FullLog.NumRows(), len(env.DS.Patients), len(env.DS.Users))
 
 	snap := benchSnapshot{
-		Schema:        1,
+		Schema:        2,
 		Timestamp:     start.UTC().Format(time.RFC3339),
 		GoVersion:     runtime.Version(),
 		MaxProcs:      runtime.GOMAXPROCS(0),
@@ -95,16 +99,22 @@ func main() {
 	}
 
 	type renderer interface{ Render() string }
+	type metricser interface{ Metrics() map[string]float64 }
 	run := func(name string, f func() renderer) {
 		if *which != "all" && *which != name {
 			return
 		}
 		t0 := time.Now()
-		out := f().Render()
+		r := f()
+		out := r.Render()
 		took := time.Since(t0)
 		fmt.Print(out)
 		fmt.Printf("  [%s took %v]\n\n", name, took.Round(time.Millisecond))
-		snap.Experiments = append(snap.Experiments, benchExperiment{Name: name, Millis: took.Milliseconds()})
+		exp := benchExperiment{Name: name, Millis: took.Milliseconds()}
+		if m, ok := r.(metricser); ok {
+			exp.Metrics = m.Metrics()
+		}
+		snap.Experiments = append(snap.Experiments, exp)
 	}
 
 	run("fig6", func() renderer { return experiments.Figure6(env) })
@@ -119,6 +129,7 @@ func main() {
 	run("table1", func() renderer { return experiments.Table1(env) })
 	run("headline", func() renderer { return experiments.Headline(env) })
 	run("startup", func() renderer { return experiments.Startup(env) })
+	run("lazy", func() renderer { return experiments.Lazy(env) })
 
 	if *which != "all" && !validExperiment(*which) {
 		fmt.Fprintf(os.Stderr, "ebabench: unknown experiment %q\n", *which)
@@ -165,7 +176,7 @@ func writeSnapshot(dir string, snap benchSnapshot) (string, error) {
 }
 
 func validExperiment(name string) bool {
-	for _, n := range strings.Split("fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13 fig14 table1 headline startup", " ") {
+	for _, n := range strings.Split("fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13 fig14 table1 headline startup lazy", " ") {
 		if n == name {
 			return true
 		}

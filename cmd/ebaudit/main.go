@@ -414,27 +414,31 @@ func newAppFromStore(dir string, dataDirs []string, gen func() (*app, error), pa
 
 // newAppFromShardStores builds a federated app with one segment store per
 // shard. Each shard store is opened if present, else migrated from the
-// -data directory at the same list position. Federation retrains the
-// merged-log Groups table on every start (a schema mutation), so shard
-// warm-start snapshots would always be stale; they are simply not
-// consulted here — shards gain the storage format and crash recovery,
-// single-engine runs additionally gain warm resume.
+// -data directory at the same list position. On the first start the
+// federation trains the merged-log Groups table and this loader persists it
+// into every shard store (store.SaveTable); subsequent starts reopen shards
+// that all carry the identical copy, which federate.Join reuses without
+// retraining — the federated warm start. Shard warm-start snapshots are
+// still not consulted here (InstallWarmState is a single-engine surface),
+// but the persisted Groups table removes the start-time schema mutation
+// that used to make them unconditionally stale.
 func newAppFromShardStores(storeDirs, dataDirs []string, parallelism int, stderr io.Writer) (*app, error) {
 	if len(dataDirs) > 0 && len(dataDirs) != len(storeDirs) {
 		return nil, fmt.Errorf("-store lists %d shards but -data lists %d; the lists pair up by position", len(storeDirs), len(dataDirs))
 	}
 	dbs := make([]*relation.Database, len(storeDirs))
+	stores := make([]*store.Store, len(storeDirs))
 	names := make([]string, len(storeDirs))
 	for i, dir := range storeDirs {
 		if store.IsStore(dir) {
-			_, db, err := store.Open(dir)
+			st, db, err := store.Open(dir)
 			if err != nil {
 				return nil, err
 			}
 			if err := validateLogSchema(db); err != nil {
 				return nil, fmt.Errorf("store %s: %w", dir, err)
 			}
-			dbs[i] = db
+			dbs[i], stores[i] = db, st
 		} else {
 			if len(dataDirs) == 0 {
 				return nil, fmt.Errorf("store shard %s does not exist and there is no -data shard to migrate it from", dir)
@@ -443,15 +447,31 @@ func newAppFromShardStores(storeDirs, dataDirs []string, parallelism int, stderr
 			if err != nil {
 				return nil, fmt.Errorf("shard %s: %w", dataDirs[i], err)
 			}
-			if _, err := store.Create(dir, db); err != nil {
+			st, err := store.Create(dir, db)
+			if err != nil {
 				return nil, err
 			}
 			fmt.Fprintf(stderr, "ebaudit: created store %s (%d tables)\n", dir, len(db.TableNames()))
-			dbs[i] = db
+			dbs[i], stores[i] = db, st
 		}
 		names[i] = filepath.Base(filepath.Clean(dir))
 	}
-	return federateApp(dbs, names, parallelism, stderr)
+	a, err := federateApp(dbs, names, parallelism, stderr)
+	if err != nil {
+		return nil, err
+	}
+	// A non-nil hierarchy means the federation trained Groups this start —
+	// persist the table so the next Join warm-starts from the stores instead.
+	if hier := a.fed.Hierarchy(); hier != nil {
+		gt := hier.Table(core.DefaultGroupsTable)
+		for i, st := range stores {
+			if err := st.SaveTable(gt); err != nil {
+				return nil, fmt.Errorf("persisting Groups table to %s: %w", storeDirs[i], err)
+			}
+		}
+		fmt.Fprintf(stderr, "ebaudit: persisted merged-log Groups table to %d shard store(s)\n", len(stores))
+	}
+	return a, nil
 }
 
 // newAppFromShards builds a federated app over several loaded directories,

@@ -188,9 +188,9 @@ func TestStoreExportRoundTrip(t *testing.T) {
 
 // TestStoreFederatedShards covers per-shard stores: migrating a federation's
 // shards into stores and reopening them must both stream byte-identically to
-// the plain CSV federation. (Shard snapshots are never consulted — the
-// federation retrains the merged-log Groups table every start — so this is
-// a storage differential, not a warm-start one.)
+// the plain CSV federation. (The exported shard directories already carry
+// identical Groups.csv copies, so every start here reuses them; the
+// train-then-persist warm start is covered by TestStoreShardGroupsWarmStart.)
 func TestStoreFederatedShards(t *testing.T) {
 	exportDir := t.TempDir()
 	var stdout, stderr bytes.Buffer
@@ -224,6 +224,55 @@ func TestStoreFederatedShards(t *testing.T) {
 	if reopen.String() != want.String() {
 		t.Errorf("shard store reopen NDJSON differs from CSV federation (%d vs %d bytes)",
 			reopen.Len(), want.Len())
+	}
+}
+
+// TestStoreShardGroupsWarmStart pins the federated Groups warm start: shard
+// directories without a Groups.csv force the first -store start to train the
+// merged-log hierarchy and persist it into every shard store, and the reopen
+// reuses the persisted copies without retraining — while streaming
+// byte-identically to both the training run and the plain -data federation.
+func TestStoreShardGroupsWarmStart(t *testing.T) {
+	exportDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", exportDir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	dirA, dirB := splitExportedLog(t, exportDir, 0.5)
+	for _, dir := range []string{dirA, dirB} {
+		if err := os.Remove(filepath.Join(dir, "Groups.csv")); err != nil {
+			t.Fatalf("shard export has no Groups.csv to drop: %v", err)
+		}
+	}
+	data := dirA + "," + dirB
+
+	var want, wantErr bytes.Buffer
+	if err := run([]string{"-data", data, "audit", "-stream"}, &want, &wantErr); err != nil {
+		t.Fatalf("reference federation: %v\nstderr: %s", err, wantErr.String())
+	}
+
+	base := t.TempDir()
+	stores := filepath.Join(base, "s1") + "," + filepath.Join(base, "s2")
+	var cold, coldErr bytes.Buffer
+	if err := run([]string{"-data", data, "-store", stores, "audit", "-stream"}, &cold, &coldErr); err != nil {
+		t.Fatalf("training run: %v\nstderr: %s", err, coldErr.String())
+	}
+	if cold.String() != want.String() {
+		t.Error("training run NDJSON differs from the plain -data federation")
+	}
+	if !strings.Contains(coldErr.String(), "persisted merged-log Groups table to 2 shard store(s)") {
+		t.Errorf("training run did not report persisting Groups:\n%s", coldErr.String())
+	}
+
+	var warm, warmErr bytes.Buffer
+	if err := run([]string{"-store", stores, "audit", "-stream"}, &warm, &warmErr); err != nil {
+		t.Fatalf("warm run: %v\nstderr: %s", err, warmErr.String())
+	}
+	if warm.String() != want.String() {
+		t.Error("warm run NDJSON differs from the training run")
+	}
+	if strings.Contains(warmErr.String(), "persisted merged-log Groups table") {
+		t.Errorf("warm run retrained and re-persisted Groups:\n%s", warmErr.String())
 	}
 }
 

@@ -104,7 +104,8 @@ type Federation struct {
 	consumed int
 	// hier is the collaborative-group hierarchy trained on the merged log,
 	// or nil when the federation reused an existing Groups table (Split over
-	// an already-configured database) or was built WithoutGroups.
+	// an already-configured database, or a Join whose shards all carry an
+	// identical persisted copy) or was built WithoutGroups.
 	hier *groups.Hierarchy
 }
 
@@ -262,16 +263,70 @@ func buildGroups(log *relation.Table) *groups.Hierarchy {
 	return groups.Train(log, core.DefaultGroupsMaxDepth)
 }
 
+// sharedGroupsTable reports whether every database already carries a Groups
+// table and all the copies have identical content — the precondition for
+// Join's warm start. Each shard then keeps its own loaded table (no schema
+// mutation), which is exactly the state a retraining Join would have
+// produced, because training is a pure function of the merged log.
+func sharedGroupsTable(dbs []*relation.Database) bool {
+	first := dbs[0].Table(core.DefaultGroupsTable)
+	if first == nil {
+		return false
+	}
+	for _, db := range dbs[1:] {
+		if !sameTable(first, db.Table(core.DefaultGroupsTable)) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameTable reports whether two tables have identical columns and rows.
+func sameTable(a, b *relation.Table) bool {
+	if b == nil || a.NumRows() != b.NumRows() || !equalColumns(a.Columns(), b.Columns()) {
+		return false
+	}
+	for r := 0; r < a.NumRows(); r++ {
+		ra, rb := a.Row(r), b.Row(r)
+		for c := range ra {
+			if ra[c] != rb[c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// equalColumns reports element-wise equality of two column lists.
+func equalColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Join federates separately constructed databases — one per deployment, each
 // with its own log and metadata tables — under a single merged chronology:
 // the shard logs are concatenated in input order into the logical log, which
 // replaces every shard database's Log table (so repeat-access history and
 // Log self-joins span deployments), while each shard's accesses are still
 // explained against that shard's own metadata. Unless WithoutGroups is
-// given, the collaborative-group hierarchy is trained on the merged log and
-// installed into every shard, replacing any loaded Groups table — group
-// membership, like history, is a property of the whole federation. All
-// shard logs must share an identical column layout.
+// given, group membership — like history — is a property of the whole
+// federation: when every input database already carries an identical Groups
+// table (a persisted copy of a previous Join's merged-log training, see
+// store.SaveTable), that table is reused as-is and no retraining happens —
+// the warm start that makes reopening a shard-store federation cheap; any
+// shard missing the table, or carrying a divergent copy, forces the
+// hierarchy to be retrained on the merged log and installed into every
+// shard, replacing whatever was loaded. Reuse trusts the persisted table:
+// a caller that appends to the shard logs after persisting must drop the
+// stale copies to retrain. All shard logs must share an identical column
+// layout.
 func Join(dbs []*relation.Database, graph *schemagraph.Graph, opts ...Option) (*Federation, error) {
 	if len(dbs) == 0 {
 		return nil, errors.New("federate: Join needs at least one database")
@@ -291,7 +346,7 @@ func Join(dbs []*relation.Database, graph *schemagraph.Graph, opts ...Option) (*
 
 	f := &Federation{graph: graph, namer: cfg.namer, merged: merged}
 	var groupsTable *relation.Table
-	if !cfg.noGroups {
+	if !cfg.noGroups && !sharedGroupsTable(dbs) {
 		f.hier = buildGroups(merged)
 		groupsTable = f.hier.Table(core.DefaultGroupsTable)
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/schemagraph"
+	"repro/internal/store"
 )
 
 func graph() *schemagraph.Graph { return ehr.SchemaGraph(ehr.DefaultGraphOptions()) }
@@ -118,8 +119,12 @@ func TestFederatedJoinMatchesSingleEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.AddTemplates(explain.Handcrafted(true, true).All()...)
-	if f.Hierarchy() == nil {
-		t.Error("Join did not train a merged-log hierarchy")
+	// Both shard databases carry the single engine's Groups table (WithLog
+	// copies the metadata tables), so the Join warm-starts from the identical
+	// copies instead of retraining — Hierarchy is nil, and the differential
+	// below proves the reused table audits exactly like the single engine.
+	if f.Hierarchy() != nil {
+		t.Error("Join retrained Groups despite identical shard copies")
 	}
 
 	got := f.ExplainAll(ctx, 4)
@@ -138,6 +143,90 @@ func TestFederatedJoinMatchesSingleEngine(t *testing.T) {
 	}
 	if infos[0].Rows != cut || infos[1].Rows != log.NumRows()-cut {
 		t.Errorf("shard rows: %+v", infos)
+	}
+}
+
+// TestJoinWarmStartMatchesRetrained is the warm-start differential: a Join
+// whose shards carry a Groups table persisted through the segment store
+// (store.SaveTable, then store.Open) must reuse it without retraining, and
+// the reused federation must audit exactly like the cold Join that trained
+// the table — while a diverged copy on any shard forces retraining.
+func TestJoinWarmStartMatchesRetrained(t *testing.T) {
+	ctx := context.Background()
+	cfg := ehr.Tiny()
+	cfg.Seed = 5
+	ds := ehr.Generate(cfg)
+	log := ds.Log()
+	cut := log.NumRows() / 2
+	rows := make([]int, log.NumRows())
+	for r := range rows {
+		rows[r] = r
+	}
+	shardDBs := []*relation.Database{
+		accesslog.WithLog(ds.DB, log.Select(pathmodel.LogTable, rows[:cut])),
+		accesslog.WithLog(ds.DB, log.Select(pathmodel.LogTable, rows[cut:])),
+	}
+
+	cold, err := federate.Join(shardDBs, graph(), federate.WithNamer(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.AddTemplates(explain.Handcrafted(true, true).All()...)
+	if cold.Hierarchy() == nil {
+		t.Fatal("cold Join over groupless shards did not train a hierarchy")
+	}
+	want := cold.ExplainAll(ctx, 4)
+	trained := cold.Hierarchy().Table(core.DefaultGroupsTable)
+
+	// Persist the trained table into each shard's store and reopen — the
+	// exact bytes a shard store hands the next federation start.
+	warmDBs := make([]*relation.Database, len(shardDBs))
+	for i, db := range shardDBs {
+		dir := t.TempDir()
+		st, err := store.Create(dir, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SaveTable(trained); err != nil {
+			t.Fatal(err)
+		}
+		if _, warmDBs[i], err = store.Open(dir); err != nil {
+			t.Fatal(err)
+		}
+		got := warmDBs[i].Table(core.DefaultGroupsTable)
+		if got == nil || got.NumRows() != trained.NumRows() {
+			t.Fatalf("shard %d store round trip lost the Groups table", i)
+		}
+	}
+
+	warm, err := federate.Join(warmDBs, graph(), federate.WithNamer(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.AddTemplates(explain.Handcrafted(true, true).All()...)
+	if warm.Hierarchy() != nil {
+		t.Error("warm Join retrained Groups despite identical persisted copies")
+	}
+	if got := warm.ExplainAll(ctx, 4); !reflect.DeepEqual(got, want) {
+		t.Error("warm Join over persisted Groups audits differently from the cold Join that trained them")
+	}
+
+	// A diverged copy on one shard must not be trusted: retrain, and still
+	// match the cold audit (training is a pure function of the merged log).
+	diverged := warmDBs[0].Table(core.DefaultGroupsTable).Clone(core.DefaultGroupsTable)
+	diverged.Append(diverged.Row(0)...)
+	mixed := []*relation.Database{accesslog.WithLog(warmDBs[0], warmDBs[0].Table(pathmodel.LogTable)), warmDBs[1]}
+	mixed[0].AddTable(diverged)
+	refed, err := federate.Join(mixed, graph(), federate.WithNamer(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refed.AddTemplates(explain.Handcrafted(true, true).All()...)
+	if refed.Hierarchy() == nil {
+		t.Error("Join reused a diverged Groups copy instead of retraining")
+	}
+	if got := refed.ExplainAll(ctx, 4); !reflect.DeepEqual(got, want) {
+		t.Error("retrained Join audits differently from the original cold Join")
 	}
 }
 

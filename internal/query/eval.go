@@ -111,6 +111,16 @@ type engine struct {
 	// engine literal in NewEvaluatorWithLog needs no initialization.
 	plannerOff atomic.Bool
 
+	// lazyOff disables lazy (pull-based, first-witness) plan execution and
+	// routes evaluation through the materialized propagation oracle (see
+	// lazy.go). Stored inverted like plannerOff: the zero value — lazy on —
+	// is the default.
+	lazyOff atomic.Bool
+
+	// planEndSide counts closed plans for which the planner chose end-side
+	// propagation (see planner.go); snapshotted by PlanCacheStats.
+	planEndSide atomic.Int64
+
 	// Planner decision aggregates across every plan the engine compiled:
 	// plans run through the planner, greedy hop contractions applied, pairs
 	// dropped by backward-feasible pruning, and total planning wall time.
@@ -144,6 +154,12 @@ type Evaluator struct {
 	// run through a clone are counted on that clone only.
 	queriesEvaluated int
 	estimatesIssued  int
+
+	// postingsScanned counts index postings and pair-list entries consumed
+	// by lazy evaluation and instance enumeration on this cursor — the
+	// observable the early-termination tests pin: Instances(limit) and
+	// existence checks must stop consuming after the first witness.
+	postingsScanned int
 }
 
 // NewEvaluator creates an evaluator over db, which must contain a table
@@ -287,6 +303,11 @@ func (ev *Evaluator) QueriesEvaluated() int { return ev.queriesEvaluated }
 // EstimatesIssued returns the number of cardinality estimates issued.
 func (ev *Evaluator) EstimatesIssued() int { return ev.estimatesIssued }
 
+// PostingsScanned returns the number of index postings and pair-list
+// entries this cursor's lazy evaluations and instance enumerations have
+// consumed. Like QueriesEvaluated it is per-cursor.
+func (ev *Evaluator) PostingsScanned() int { return ev.postingsScanned }
+
 // opKind distinguishes the three step types of a compiled plan.
 type opKind uint8
 
@@ -310,10 +331,29 @@ type plan struct {
 	ops    []op
 	closed bool
 
+	// rev is the end-side execution chain — the ops inverted pair-by-pair
+	// and walked from the close boundary back to the start — built by the
+	// planner for closed plans whose end boundary is clearly smaller than
+	// their start boundary (see planner.go). It is nil when the start side
+	// was kept. Only lazy execution walks it; the materialized oracle
+	// (propagate, the reach memo) always evaluates ops start-side, so the
+	// oracle's observables are independent of the side choice.
+	rev []op
+
 	// info records the planner's decisions when the planner stage ran on
 	// this plan (see planner.go); it is the zero value for declared-order
 	// plans.
 	info PlanInfo
+}
+
+// execOps returns the op chain lazy execution walks and whether the (start,
+// end) roles must be swapped before walking it — true when the planner
+// chose the end-side chain.
+func (pl plan) execOps() ([]op, bool) {
+	if pl.rev != nil {
+		return pl.rev, true
+	}
+	return pl.ops, false
 }
 
 // compile lowers a path into a plan. It panics on malformed paths because
@@ -541,6 +581,12 @@ type InstanceBinding struct {
 // hold. The paper converts each instance to natural language and ranks
 // explanations in ascending order of path length; rendering lives in the
 // explain package.
+//
+// Enumeration is pull-based end to end: candidate values stream through
+// relation.Table.PairValues and matching rows through Table.Postings, and
+// the depth-first search unwinds as soon as limit bindings exist, so the
+// number of postings consumed is bounded by the work to the limit-th
+// witness, not by the hop fanout (PostingsScanned counts the consumption).
 func (ev *Evaluator) Instances(p pathmodel.Path, logRow, limit int) []InstanceBinding {
 	if !p.Closed() {
 		panic("query: Instances requires a closed path")
@@ -567,39 +613,58 @@ func (ev *Evaluator) Instances(p pathmodel.Path, logRow, limit int) []InstanceBi
 			return len(out) >= limit
 		}
 		c := conds[ci]
-		// Candidate values on the right-hand side after bridge translation.
-		candidates := []relation.Value{current}
+		// Candidate values on the right-hand side after bridge translation,
+		// streamed lazily: the singleton current value, or the bridge's
+		// pair-value postings.
+		candidates := func(yield func(relation.Value) bool) { yield(current) }
 		if c.Via != nil {
 			bt := ev.db.MustTable(c.Via.Table)
-			candidates = bt.DistinctPairs(c.Via.FromColumn, c.Via.ToColumn)[current]
+			bridged := bt.PairValues(c.Via.FromColumn, c.Via.ToColumn, current)
+			candidates = func(yield func(relation.Value) bool) {
+				for v := range bridged {
+					ev.postingsScanned++
+					if !yield(v) {
+						return
+					}
+				}
+			}
 		}
 		if c.RightInst == 0 {
 			// Closing condition: some candidate must equal this row's user.
-			for _, v := range candidates {
+			matched := false
+			for v := range candidates {
 				if v == user {
-					return dfs(ci+1, v)
+					matched = true
+					break
 				}
+			}
+			if matched {
+				return dfs(ci+1, user)
 			}
 			return false
 		}
 		in := insts[c.RightInst]
 		t := ev.db.MustTable(in.Table)
-		idx := t.Index(in.Entry)
-		for _, v := range candidates {
-			for _, r := range idx[v] {
+		done := false
+		for v := range candidates {
+			for r := range t.Postings(in.Entry, v) {
+				ev.postingsScanned++
 				rows = append(rows, r)
 				next := relation.Null()
 				if in.Exit != "" {
 					next = t.Get(r, in.Exit)
 				}
-				done := dfs(ci+1, next)
+				done = dfs(ci+1, next)
 				rows = rows[:len(rows)-1]
 				if done {
-					return true
+					break
 				}
 			}
+			if done {
+				break
+			}
 		}
-		return false
+		return done
 	}
 	dfs(0, patient)
 	return out

@@ -1,0 +1,177 @@
+package query
+
+import "repro/internal/relation"
+
+// This file is the lazy execution engine: pull-based, first-witness
+// evaluation of compiled plans, the default since the iterator refactor.
+// Where the materialized path (propagate / feasibleStarts) builds a full
+// value set per hop boundary and retains propagation results in the shared
+// reach memo, lazy execution answers each per-row question — "does this
+// row's end value lie in the start value's reach?" — with a depth-first
+// walk over the plan's pairs lists that stops at the first witness chain.
+// Nothing is retained on the engine: all memoization is call-local and
+// released when the evaluation returns, which is what drops peak retained
+// heap on deep paths by the measured multiple.
+//
+// Per-call memoization keeps lazy evaluation from degrading on dense plans:
+//
+//   - closed plans memoize (boundary, value, end) verdicts, so a start value
+//     shared by many rows — and every intermediate value reached under the
+//     same end — is walked once per call, not once per row;
+//   - open plans memoize (boundary, value) satisfiability, which bounds a
+//     whole-log ConnectedRange by the total pairs resident in the plan
+//     (each boundary value is expanded at most once), the same bound the
+//     backward feasibleStarts pass has — but demand-driven, touching only
+//     values the audited log actually contains.
+//
+// The materialized path remains fully intact as a differential oracle:
+// SetLazyEval(false) routes Prepared.Support, ExplainedRange, and
+// ConnectedRange through propagate / feasibleStarts / the reach memo
+// exactly as before, and the lazy differential tests pin the two modes —
+// plus the index-free SupportScan and the declared-order planner oracle —
+// byte-identical on the full catalog and on fuzzed random paths.
+
+// SetLazyEval toggles lazy (pull-based, first-witness) plan execution for
+// evaluations after the call; the default is enabled. Disabling it routes
+// evaluation through the materialized propagation path — the differential
+// oracle — which also re-enables the shared reach memo and feasible-start
+// memo that lazy execution deliberately leaves untouched. Compiled plans
+// are mode-independent, so toggling does not invalidate the plan cache.
+// The setting is engine-wide: every Clone shares it.
+func (ev *Evaluator) SetLazyEval(on bool) {
+	ev.engine.lazyOff.Store(!on)
+}
+
+// LazyEval reports whether lazy plan execution is enabled.
+func (ev *Evaluator) LazyEval() bool { return ev.engine.lazyEval() }
+
+func (eng *engine) lazyEval() bool { return !eng.lazyOff.Load() }
+
+// witnessKey memoizes one closed-plan sub-question: can value v at op
+// boundary bi reach exactly end at the close?
+type witnessKey struct {
+	bi     int
+	v, end relation.Value
+}
+
+// lazyWitness is the call-local state of one lazy closed-plan evaluation:
+// the op chain to walk (the planner's end-side chain when one was chosen),
+// the verdict memo, and the owning cursor's postings counter. It is created
+// per call and garbage once the call returns — nothing lands on the shared
+// plan entry.
+type lazyWitness struct {
+	ops     []op
+	swap    bool
+	memo    map[witnessKey]bool
+	scanned *int
+}
+
+func newLazyWitness(ev *Evaluator, pl plan) *lazyWitness {
+	ops, swap := pl.execOps()
+	return &lazyWitness{ops: ops, swap: swap, memo: make(map[witnessKey]bool), scanned: &ev.postingsScanned}
+}
+
+// explains reports whether the plan connects start to end, walking the
+// execution chain depth-first and stopping at the first witness. When the
+// planner chose end-side propagation the chain is the inverted one and the
+// roles swap; the relation is symmetric, so the verdict is identical.
+func (lw *lazyWitness) explains(start, end relation.Value) bool {
+	if lw.swap {
+		start, end = end, start
+	}
+	return lw.reaches(0, start, end)
+}
+
+// reaches answers witnessKey{bi, v, end} with memoized depth-first search.
+// Filter ops (opExists, opClose) advance iteratively; only branching pairs
+// ops recurse and memoize.
+func (lw *lazyWitness) reaches(bi int, v, end relation.Value) bool {
+	for {
+		if bi == len(lw.ops) {
+			return v == end
+		}
+		o := lw.ops[bi]
+		switch o.kind {
+		case opClose:
+			return v == end
+		case opExists:
+			if _, ok := o.index[v]; !ok {
+				return false
+			}
+			bi++
+		default: // opBridge, opMap
+			key := witnessKey{bi: bi, v: v, end: end}
+			if res, ok := lw.memo[key]; ok {
+				return res
+			}
+			res := false
+			for _, w := range o.pairs[v] {
+				*lw.scanned++
+				if lw.reaches(bi+1, w, end) {
+					res = true
+					break
+				}
+			}
+			lw.memo[key] = res
+			return res
+		}
+	}
+}
+
+// feasKey memoizes one open-plan sub-question: can value v at op boundary
+// bi complete the rest of the chain?
+type feasKey struct {
+	bi int
+	v  relation.Value
+}
+
+// lazyFeas is the call-local state of one lazy open-plan evaluation — the
+// demand-driven counterpart of the backward feasibleStarts pass. Like
+// lazyWitness it retains nothing on the shared plan entry, and in
+// particular it neither consults nor fills the entry's feasible-start memo.
+type lazyFeas struct {
+	ops     []op
+	memo    map[feasKey]bool
+	scanned *int
+}
+
+func newLazyFeas(ev *Evaluator, pl plan) *lazyFeas {
+	return &lazyFeas{ops: pl.ops, memo: make(map[feasKey]bool), scanned: &ev.postingsScanned}
+}
+
+// completes reports whether v at boundary bi can satisfy the remaining
+// chain, short-circuiting at the first satisfiable branch. A value that
+// survives every op — including a trailing opExists, or a final pairs op
+// the planner pruned against an absorbed exists index — completes the path.
+func (lf *lazyFeas) completes(bi int, v relation.Value) bool {
+	for {
+		if bi == len(lf.ops) {
+			return true
+		}
+		o := lf.ops[bi]
+		switch o.kind {
+		case opClose:
+			panic("query: lazy open evaluation reached opClose")
+		case opExists:
+			if _, ok := o.index[v]; !ok {
+				return false
+			}
+			bi++
+		default: // opBridge, opMap
+			key := feasKey{bi: bi, v: v}
+			if res, ok := lf.memo[key]; ok {
+				return res
+			}
+			res := false
+			for _, w := range o.pairs[v] {
+				*lf.scanned++
+				if lf.completes(bi+1, w) {
+					res = true
+					break
+				}
+			}
+			lf.memo[key] = res
+			return res
+		}
+	}
+}

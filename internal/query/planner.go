@@ -80,6 +80,19 @@ type PlanInfo struct {
 	// folded into the pruned predecessor and dropped.
 	ExistsAbsorbed bool
 
+	// BoundaryStart and BoundaryEnd are the boundary-set sizes the side
+	// choice compares on a closed chain of pairs ops: the distinct start
+	// values surviving backward pruning and the distinct values reaching
+	// the close boundary. Both are zero when the plan's shape is not
+	// eligible (open plans, bare-close plans).
+	BoundaryStart, BoundaryEnd int
+
+	// EndSide reports that the planner chose end-side propagation: the end
+	// boundary is clearly smaller, so lazy execution walks the inverted
+	// chain from the row's end value instead of fanning out from its start
+	// value. The materialized oracle is unaffected by the choice.
+	EndSide bool
+
 	// PlanNanos is the wall time the planner spent on this plan.
 	PlanNanos int64
 }
@@ -113,6 +126,10 @@ func (ev *Evaluator) planPlan(pl plan) plan {
 	}
 	ops := prunePairs(pl.ops, &info)
 	ops = contractHops(ops, &info)
+	var rev []op
+	if pl.closed {
+		rev = chooseEndSide(ops, &info)
+	}
 	info.HopsPlanned = len(ops)
 	info.PairsPlanned = totalPlanPairs(ops)
 	info.PlanNanos = time.Since(start).Nanoseconds()
@@ -121,8 +138,11 @@ func (ev *Evaluator) planPlan(pl plan) plan {
 	eng.plansPlanned.Add(1)
 	eng.planContractions.Add(int64(info.Contractions))
 	eng.planPairsPruned.Add(int64(info.PairsPruned))
+	if info.EndSide {
+		eng.planEndSide.Add(1)
+	}
 	eng.planNanos.Add(info.PlanNanos)
-	return plan{ops: ops, closed: pl.closed, info: info}
+	return plan{ops: ops, rev: rev, closed: pl.closed, info: info}
 }
 
 // isPairsOp reports whether o carries a pairs map (opMap or opBridge) — the
@@ -204,6 +224,64 @@ func prunePairs(ops []op, info *PlanInfo) []op {
 		info.ExistsAbsorbed = true
 	}
 	return out
+}
+
+// chooseEndSide decides, for a closed chain of pairs ops, which side lazy
+// execution should propagate from. Backward pruning already restricted the
+// first op's key set to the feasible starts, so the start boundary's size
+// is free; the end boundary is the distinct values the last hop can emit.
+// A closed-plan evaluation asks one (start, end) question per log row, and
+// the work of a first-witness search is governed by the fanout on the side
+// it expands — so when the end boundary is clearly smaller (strictly less
+// than half the start boundary), the planner inverts each pairs map and
+// publishes the reversed chain for lazy execution to walk from the row's
+// end value. Inversion is exact — (v, w) holds iff (w, v) holds in the
+// inverse — so the explained row set is identical by symmetry, which the
+// lazy differential tests pin. Plans containing non-pairs interior ops are
+// left alone, and the materialized oracle always evaluates start-side.
+func chooseEndSide(ops []op, info *PlanInfo) []op {
+	n := len(ops)
+	if n < 2 || ops[n-1].kind != opClose {
+		return nil
+	}
+	for _, o := range ops[:n-1] {
+		if !isPairsOp(o) {
+			return nil
+		}
+	}
+	ends := make(valueSet)
+	for _, ws := range ops[n-2].pairs {
+		for _, w := range ws {
+			ends[w] = struct{}{}
+		}
+	}
+	info.BoundaryStart, info.BoundaryEnd = len(ops[0].pairs), len(ends)
+	if info.BoundaryEnd == 0 || 2*info.BoundaryEnd > info.BoundaryStart {
+		return nil
+	}
+	info.EndSide = true
+	rev := make([]op, 0, n)
+	for i := n - 2; i >= 0; i-- {
+		rev = append(rev, op{kind: opMap, table: ops[i].table, pairs: invertPairs(ops[i].pairs)})
+	}
+	return append(rev, op{kind: opClose})
+}
+
+// invertPairs materializes the inverse of a pairs map with sorted value
+// lists. A DISTINCT projection has no duplicate (v, w) pairs, so the
+// inverse needs no de-duplication.
+func invertPairs(m map[relation.Value][]relation.Value) map[relation.Value][]relation.Value {
+	inv := make(map[relation.Value][]relation.Value, len(m))
+	for v, ws := range m {
+		for _, w := range ws {
+			inv[w] = append(inv[w], v)
+		}
+	}
+	for w := range inv {
+		vs := inv[w]
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+	}
+	return inv
 }
 
 // contractionBudget bounds one candidate composition a ; b: a small

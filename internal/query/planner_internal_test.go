@@ -191,6 +191,10 @@ func TestPlannerDisabledKeepsDeclaredOrder(t *testing.T) {
 // a ConnectedRange caller has populated it.
 func TestSupportReusesFeasMemo(t *testing.T) {
 	ev := NewEvaluator(plannerDB())
+	// The feas memo and backward-pass counter are materialized-path
+	// observables; lazy execution answers open paths demand-driven without
+	// touching either, so this test pins the oracle mode.
+	ev.SetLazyEval(false)
 	pp := ev.Prepare(plannerOpenPath(t))
 	eng := ev.engine
 

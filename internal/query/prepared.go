@@ -155,7 +155,21 @@ func (pp *Prepared) checkRange(lo, hi int) {
 func (pp *Prepared) Support() int {
 	pp.ev.queriesEvaluated++
 	starts, ends := pp.orient()
+	lazy := pp.ev.engine.lazyEval()
 	if !pp.ent.pl.closed {
+		if lazy {
+			// Demand-driven satisfiability with a call-local memo: each
+			// boundary value the log reaches is expanded at most once, and
+			// nothing is pinned on the shared entry.
+			lf := newLazyFeas(pp.ev, pp.ent.pl)
+			n := 0
+			for _, sv := range starts {
+				if lf.completes(0, sv) {
+					n++
+				}
+			}
+			return n
+		}
 		// Reuse the shared feasible-start memo when a ConnectedRange caller
 		// already populated it — the backward pass is the whole cost of an
 		// open-path support query. When the memo is cold, compute the set
@@ -171,6 +185,16 @@ func (pp *Prepared) Support() int {
 		n := 0
 		for _, sv := range starts {
 			if f.has(sv) {
+				n++
+			}
+		}
+		return n
+	}
+	if lazy {
+		lw := newLazyWitness(pp.ev, pp.ent.pl)
+		n := 0
+		for r, sv := range starts {
+			if lw.explains(sv, ends[r]) {
 				n++
 			}
 		}
@@ -211,6 +235,16 @@ func (pp *Prepared) ExplainedRange(lo, hi int) []bool {
 	pp.ev.queriesEvaluated++
 	starts, ends := pp.orient()
 	out := make([]bool, hi-lo)
+	if pp.ev.engine.lazyEval() {
+		// First-witness search per row with a call-local memo; the shared
+		// reach memo is neither consulted nor filled, so a range evaluation
+		// retains nothing on the engine once it returns.
+		lw := newLazyWitness(pp.ev, pp.ent.pl)
+		for r := lo; r < hi; r++ {
+			out[r-lo] = lw.explains(starts[r], ends[r])
+		}
+		return out
+	}
 	for r := lo; r < hi; r++ {
 		sv := starts[r]
 		set, ok := pp.ent.reach.get(sv)
@@ -241,8 +275,15 @@ func (pp *Prepared) ConnectedRange(lo, hi int) []bool {
 	pp.checkRange(lo, hi)
 	pp.ev.queriesEvaluated++
 	starts, _ := pp.orient()
-	f := pp.feasible()
 	out := make([]bool, hi-lo)
+	if pp.ev.engine.lazyEval() {
+		lf := newLazyFeas(pp.ev, pp.ent.pl)
+		for r := lo; r < hi; r++ {
+			out[r-lo] = lf.completes(0, starts[r])
+		}
+		return out
+	}
+	f := pp.feasible()
 	for r := lo; r < hi; r++ {
 		out[r-lo] = f.has(starts[r])
 	}
@@ -416,11 +457,13 @@ type PlanCacheStats struct {
 
 	// Planner aggregates (see planner.go): plans run through the planner
 	// stage, greedy hop contractions applied, pairs dropped by
-	// backward-feasible pruning, and total planning wall time in
-	// nanoseconds. All zero when the planner is disabled.
+	// backward-feasible pruning, closed plans for which end-side
+	// propagation was chosen, and total planning wall time in nanoseconds.
+	// All zero when the planner is disabled.
 	PlansPlanned     int64
 	PlanContractions int64
 	PlanPairsPruned  int64
+	PlanEndSide      int64
 	PlanNanos        int64
 
 	// MaskHits, MaskRecomputes, and MaskExtensions count the auditing
@@ -448,6 +491,7 @@ func (s PlanCacheStats) Add(o PlanCacheStats) PlanCacheStats {
 		PlansPlanned:     s.PlansPlanned + o.PlansPlanned,
 		PlanContractions: s.PlanContractions + o.PlanContractions,
 		PlanPairsPruned:  s.PlanPairsPruned + o.PlanPairsPruned,
+		PlanEndSide:      s.PlanEndSide + o.PlanEndSide,
 		PlanNanos:        s.PlanNanos + o.PlanNanos,
 		MaskHits:         s.MaskHits + o.MaskHits,
 		MaskRecomputes:   s.MaskRecomputes + o.MaskRecomputes,
@@ -472,6 +516,7 @@ func (ev *Evaluator) PlanCacheStats() PlanCacheStats {
 		PlansPlanned:     eng.plansPlanned.Load(),
 		PlanContractions: eng.planContractions.Load(),
 		PlanPairsPruned:  eng.planPairsPruned.Load(),
+		PlanEndSide:      eng.planEndSide.Load(),
 		PlanNanos:        eng.planNanos.Load(),
 	}
 	eng.planMu.RLock()

@@ -64,7 +64,10 @@ func TestReachMemoCapEvicts(t *testing.T) {
 	db := manyPatientDB(patients)
 	path := reachTestPath(t)
 
+	// The reach memo is a materialized-path observable: lazy execution
+	// deliberately leaves it empty, so this test pins the oracle mode.
 	unbounded := query.NewEvaluator(db)
+	unbounded.SetLazyEval(false)
 	unbounded.SetReachMemoCap(0)
 	want := unbounded.Prepare(path).ExplainedRows()
 	if st := unbounded.PlanCacheStats(); st.ReachEvictions != 0 {
@@ -73,6 +76,7 @@ func TestReachMemoCapEvicts(t *testing.T) {
 
 	const cap = 32
 	ev := query.NewEvaluator(db)
+	ev.SetLazyEval(false)
 	ev.SetReachMemoCap(cap)
 	pp := ev.Prepare(path)
 	got := pp.ExplainedRows()
@@ -148,12 +152,14 @@ func TestReachMemoBoundedOnMedium(t *testing.T) {
 	tpl := explain.WithDrTemplate("appt-with-dr", "Appointments", "an appointment")
 
 	unbounded := query.NewEvaluator(ds.DB)
+	unbounded.SetLazyEval(false) // the reach memo is a materialized-path observable
 	unbounded.SetReachMemoCap(0)
 	want := unbounded.Prepare(tpl.Path).ExplainedRows()
 	stU := unbounded.PlanCacheStats()
 
 	const cap = 512
 	ev := query.NewEvaluator(ds.DB)
+	ev.SetLazyEval(false)
 	ev.SetReachMemoCap(cap)
 	got := ev.Prepare(tpl.Path).ExplainedRows()
 	if !reflect.DeepEqual(got, want) {
@@ -182,6 +188,7 @@ func TestSetReachMemoCapRetrofitsPreparedPlans(t *testing.T) {
 	path := reachTestPath(t)
 
 	ev := query.NewEvaluator(db)
+	ev.SetLazyEval(false) // the reach memo is a materialized-path observable
 	ev.SetReachMemoCap(0) // prepare and populate unbounded
 	pp := ev.Prepare(path)
 	want := pp.ExplainedRows()

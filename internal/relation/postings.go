@@ -1,0 +1,44 @@
+package relation
+
+import "iter"
+
+// This file is the pull-based read surface over the lazy hash indexes: the
+// posting-list and pair-value iterators the query engine's lazy execution
+// composes into hop pipelines. Both iterators walk the cached maps Index and
+// DistinctPairs build — no slice is copied, and because a published map is
+// immutable (Append swaps in a fresh cache rather than mutating the old
+// one), an iterator captured before an Append keeps yielding its original
+// snapshot: iteration is snapshot-stable under append.
+
+// Postings returns a pull-based iterator over the row numbers whose value in
+// the named column equals v, in ascending row order — the posting list of
+// the column's lazy hash index, yielded without copying. The underlying
+// index is captured when Postings is called; see the file comment for the
+// append-stability contract. It panics if the column does not exist.
+func (t *Table) Postings(column string, v Value) iter.Seq[int] {
+	rows := t.Index(column)[v]
+	return func(yield func(int) bool) {
+		for _, r := range rows {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+}
+
+// PairValues returns a pull-based iterator over the distinct to-values
+// paired with v in the DISTINCT (from, to) projection, in sorted order —
+// the lazy form of DistinctPairs(from, to)[v], yielded without copying the
+// list. The projection is captured when PairValues is called; see the file
+// comment for the append-stability contract. It panics if either column
+// does not exist.
+func (t *Table) PairValues(from, to string, v Value) iter.Seq[Value] {
+	vals := t.DistinctPairs(from, to)[v]
+	return func(yield func(Value) bool) {
+		for _, w := range vals {
+			if !yield(w) {
+				return
+			}
+		}
+	}
+}

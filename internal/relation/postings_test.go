@@ -1,0 +1,96 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+func postingsTable() *Table {
+	t := NewTable("T", "A", "B")
+	t.Append(Int(1), Int(10))
+	t.Append(Int(2), Int(20))
+	t.Append(Int(1), Int(30))
+	t.Append(Int(1), Int(10)) // duplicate (A, B) pair: distinct in pairs, two postings
+	t.Append(Int(3), Int(10))
+	return t
+}
+
+// TestPostingsMatchesIndex pins the iterator to the cached index: same rows,
+// same order, and no values invented for absent keys.
+func TestPostingsMatchesIndex(t *testing.T) {
+	tb := postingsTable()
+	for _, v := range []Value{Int(1), Int(2), Int(3), Int(99)} {
+		var got []int
+		for r := range tb.Postings("A", v) {
+			got = append(got, r)
+		}
+		want := tb.Index("A")[v]
+		if !reflect.DeepEqual(got, append([]int(nil), want...)) {
+			t.Errorf("Postings(A, %v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// TestPairValuesMatchesDistinctPairs pins the pair iterator to the cached
+// DISTINCT projection, including de-duplication and sorted order.
+func TestPairValuesMatchesDistinctPairs(t *testing.T) {
+	tb := postingsTable()
+	for _, v := range []Value{Int(1), Int(2), Int(99)} {
+		var got []Value
+		for w := range tb.PairValues("A", "B", v) {
+			got = append(got, w)
+		}
+		want := tb.DistinctPairs("A", "B")[v]
+		if !reflect.DeepEqual(got, append([]Value(nil), want...)) {
+			t.Errorf("PairValues(A, B, %v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// TestPostingsEarlyBreak verifies pull semantics: breaking out of the range
+// stops consumption without exhausting the posting list.
+func TestPostingsEarlyBreak(t *testing.T) {
+	tb := postingsTable()
+	seen := 0
+	for range tb.Postings("A", Int(1)) {
+		seen++
+		break
+	}
+	if seen != 1 {
+		t.Fatalf("early break consumed %d postings, want 1", seen)
+	}
+}
+
+// TestPostingsSnapshotStableUnderAppend verifies the append contract: an
+// iterator created before Append keeps yielding the rows of its snapshot,
+// while an iterator created after sees the appended row.
+func TestPostingsSnapshotStableUnderAppend(t *testing.T) {
+	tb := postingsTable()
+	before := tb.Postings("A", Int(1))
+	beforePairs := tb.PairValues("A", "B", Int(1))
+
+	tb.Append(Int(1), Int(40))
+
+	var got []int
+	for r := range before {
+		got = append(got, r)
+	}
+	if want := []int{0, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("pre-append Postings snapshot = %v, want %v", got, want)
+	}
+	var gotPairs []Value
+	for w := range beforePairs {
+		gotPairs = append(gotPairs, w)
+	}
+	if want := []Value{Int(10), Int(30)}; !reflect.DeepEqual(gotPairs, want) {
+		t.Errorf("pre-append PairValues snapshot = %v, want %v", gotPairs, want)
+	}
+
+	var after []int
+	for r := range tb.Postings("A", Int(1)) {
+		after = append(after, r)
+	}
+	if want := []int{0, 2, 3, 5}; !reflect.DeepEqual(after, want) {
+		t.Errorf("post-append Postings = %v, want %v", after, want)
+	}
+}

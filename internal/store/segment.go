@@ -238,30 +238,40 @@ func encodeRows(rows [][]relation.Value) []byte {
 	return buf
 }
 
-// decodeRowBatch appends a data record's rows to t. Every row must have
-// exactly ncols values and consume the payload completely.
-func decodeRowBatch(payload []byte, ncols int, t *relation.Table) error {
+// decodeRowBatch decodes one data record's rows. Every row must have
+// exactly ncols values and consume the payload completely. The returned
+// rows are freshly allocated — they never alias the payload — so the
+// caller may retain them after the payload buffer is reused.
+func decodeRowBatch(payload []byte, ncols int) ([][]relation.Value, error) {
 	nrows, w := binary.Uvarint(payload)
 	if w <= 0 {
-		return errors.New("store: malformed record row count")
+		return nil, errors.New("store: malformed record row count")
 	}
 	pos := w
-	row := make([]relation.Value, ncols)
+	// Pre-size from the declared count, clamped by the payload length (every
+	// value costs at least its kind byte), so a corrupt count that slipped
+	// past the checksum cannot force an absurd allocation.
+	capRows := nrows
+	if capRows > uint64(len(payload)) {
+		capRows = uint64(len(payload))
+	}
+	rows := make([][]relation.Value, 0, capRows)
 	for r := uint64(0); r < nrows; r++ {
+		row := make([]relation.Value, ncols)
 		for c := 0; c < ncols; c++ {
 			v, next, err := decodeValue(payload, pos)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			row[c] = v
 			pos = next
 		}
-		t.Append(row...)
+		rows = append(rows, row)
 	}
 	if pos != len(payload) {
-		return errors.New("store: record has trailing bytes")
+		return nil, errors.New("store: record has trailing bytes")
 	}
-	return nil
+	return rows, nil
 }
 
 // scanResult is what readSegment recovered: the table (nil if even the
@@ -274,73 +284,103 @@ type scanResult struct {
 	fileSize int64
 }
 
-// readSegment streams the segment at path into a fresh table named name,
-// stopping — without error — at the first torn or corrupt data record, as
-// a WAL reader stops at the first invalid entry. Each record is verified
-// against its checksum before a single value is decoded, so a torn tail
-// can never contribute rows. Decoded batches feed Table.Append directly;
-// the file is never materialized whole.
-func readSegment(path, name string) (scanResult, error) {
+// segScanner is the pull-based core of segment reading: it yields one
+// decoded row batch per checksummed record, reusing a single payload buffer
+// across records, so a consumer that processes batches as they arrive holds
+// at most one record's rows plus one payload buffer regardless of segment
+// size. Both readSegment (which drains it into a table) and the public
+// Store.ScanBatches iterator run on it.
+type segScanner struct {
+	f   *os.File
+	br  *bufio.Reader
+	buf []byte
+	hdr segmentHeader
+
+	// off tracks the bytes consumed so far; validEnd is the offset just past
+	// the last record that decoded cleanly — the torn-tail truncation point.
+	off      int64
+	validEnd int64
+	fileSize int64
+}
+
+// openSegScanner opens the segment at path, verifies the magic, and decodes
+// the header record. The header must be intact: without a schema nothing
+// after it can be interpreted, and Create writes it in the same burst as
+// the magic, so a torn header means the segment never finished being born.
+// On error the file is closed and sc.fileSize still reports the size seen.
+func openSegScanner(path string) (sc *segScanner, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return scanResult{}, err
+		return nil, err
 	}
-	defer f.Close()
+	sc = &segScanner{f: f}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
 	st, err := f.Stat()
 	if err != nil {
-		return scanResult{}, err
+		return sc, err
 	}
-	res := scanResult{fileSize: st.Size()}
+	sc.fileSize = st.Size()
 
-	br := bufio.NewReaderSize(f, 1<<20)
+	sc.br = bufio.NewReaderSize(f, 1<<20)
 	magic := make([]byte, len(segMagic))
-	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
-		return res, fmt.Errorf("store: %s is not a segment file", path)
+	if _, err := io.ReadFull(sc.br, magic); err != nil || string(magic) != segMagic {
+		return sc, fmt.Errorf("store: %s is not a segment file", path)
 	}
-	off := int64(len(segMagic))
+	sc.off = int64(len(segMagic))
 
-	// The header record must be intact: without a schema nothing after it
-	// can be interpreted, and Create writes it in the same burst as the
-	// magic, so a torn header means the segment never finished being born.
-	hdrPayload, n, ok := readRecord(br, res.fileSize-off)
-	off += n
+	hdrPayload, n, ok := sc.readRecord()
+	sc.off += n
 	if !ok {
-		return res, fmt.Errorf("store: %s: segment header corrupt", path)
+		return sc, fmt.Errorf("store: %s: segment header corrupt", path)
 	}
 	hdr, err := decodeHeader(hdrPayload)
 	if err != nil {
-		return res, fmt.Errorf("store: %s: %w", path, err)
+		return sc, fmt.Errorf("store: %s: %w", path, err)
 	}
-	t := relation.NewTable(name, hdr.columns...)
-	res.table = t
-	res.validEnd = off
-
-	for {
-		payload, n, ok := readRecord(br, res.fileSize-off)
-		if !ok {
-			return res, nil // torn tail: valid prefix ends at res.validEnd
-		}
-		off += n
-		if err := decodeRowBatch(payload, len(hdr.columns), t); err != nil {
-			// A checksum-valid record that fails to decode is corruption the
-			// frame cannot explain; treat it like a torn tail and stop at
-			// the last good record.
-			return res, nil
-		}
-		res.validEnd = off
-	}
+	sc.hdr = hdr
+	sc.validEnd = sc.off
+	return sc, nil
 }
 
-// readRecord reads one framed record, verifying length sanity and
-// checksum. remaining is the byte count left in the file; ok is false when
-// the record is torn, truncated, or corrupt (the recovery signal — never
-// an error, because a torn tail is an expected crash artifact).
-func readRecord(br *bufio.Reader, remaining int64) (payload []byte, consumed int64, ok bool) {
+func (sc *segScanner) close() { sc.f.Close() }
+
+// next decodes the next data record into a fresh row batch, returning ok =
+// false — never an error — at the first torn, truncated, or corrupt record,
+// as a WAL reader stops at the first invalid entry: a checksum-valid record
+// that fails to decode is corruption the frame cannot explain and is
+// treated the same as a torn tail. The payload buffer is reused between
+// calls; the returned rows hold freshly decoded values and are the
+// caller's to keep.
+func (sc *segScanner) next() (rows [][]relation.Value, ok bool) {
+	payload, n, ok := sc.readRecord()
+	if !ok {
+		return nil, false
+	}
+	sc.off += n
+	rows, err := decodeRowBatch(payload, len(sc.hdr.columns))
+	if err != nil {
+		return nil, false
+	}
+	sc.validEnd = sc.off
+	return rows, true
+}
+
+// readRecord reads one framed record into the scanner's reused buffer,
+// verifying length sanity and checksum; ok is false when the record is
+// torn, truncated, or corrupt (the recovery signal — never an error,
+// because a torn tail is an expected crash artifact). The returned payload
+// aliases the buffer and is only valid until the next call.
+func (sc *segScanner) readRecord() (payload []byte, consumed int64, ok bool) {
+	remaining := sc.fileSize - sc.off
 	var hdr [8]byte
 	if remaining < int64(len(hdr)) {
 		return nil, 0, false
 	}
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(sc.br, hdr[:]); err != nil {
 		return nil, 0, false
 	}
 	size := binary.LittleEndian.Uint32(hdr[0:])
@@ -348,12 +388,43 @@ func readRecord(br *bufio.Reader, remaining int64) (payload []byte, consumed int
 	if size > maxRecordLen || int64(size) > remaining-int64(len(hdr)) {
 		return nil, 0, false
 	}
-	payload = make([]byte, size)
-	if _, err := io.ReadFull(br, payload); err != nil {
+	if int(size) > cap(sc.buf) {
+		sc.buf = make([]byte, size)
+	}
+	payload = sc.buf[:size]
+	if _, err := io.ReadFull(sc.br, payload); err != nil {
 		return nil, 0, false
 	}
 	if crc32.Checksum(payload, crcTable) != sum {
 		return nil, 0, false
 	}
 	return payload, int64(len(hdr)) + int64(size), true
+}
+
+// readSegment streams the segment at path into a fresh table named name,
+// stopping — without error — at the first torn or corrupt data record.
+// Each record is verified against its checksum before a single value is
+// decoded, so a torn tail can never contribute rows. Decoded batches feed
+// Table.Append directly; the file is never materialized whole, and peak
+// transient memory is one batch plus the scanner's reused payload buffer.
+func readSegment(path, name string) (scanResult, error) {
+	sc, err := openSegScanner(path)
+	if err != nil {
+		if sc == nil {
+			return scanResult{}, err
+		}
+		sc.close()
+		return scanResult{fileSize: sc.fileSize}, err
+	}
+	defer sc.close()
+	t := relation.NewTable(name, sc.hdr.columns...)
+	for {
+		rows, ok := sc.next()
+		if !ok {
+			return scanResult{table: t, validEnd: sc.validEnd, fileSize: sc.fileSize}, nil
+		}
+		for _, row := range rows {
+			t.Append(row...)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"iter"
 	"os"
 	"path/filepath"
 
@@ -156,6 +157,44 @@ func Open(dir string) (*Store, *relation.Database, error) {
 	return s, db, nil
 }
 
+// ScanBatches streams the named table's segment as decoded row batches —
+// one batch per checksummed record, at most segBatchRows rows from the
+// bulk writer (append records may be smaller) — without materializing the
+// table: a consumer that processes each batch as it arrives holds one
+// batch plus one reused payload buffer regardless of segment size. This is
+// the export / ETL form of Open's own streaming load. Batches stop cleanly
+// at a torn tail (the checksum-valid prefix is the segment's contents); a
+// scan that cannot start at all — unknown table, missing or headerless
+// segment — yields a single (nil, error) pair. Each yielded batch is
+// freshly allocated and the caller's to keep. Breaking out of the loop
+// closes the segment file.
+func (s *Store) ScanBatches(table string) iter.Seq2[[][]relation.Value, error] {
+	return func(yield func([][]relation.Value, error) bool) {
+		if s.Rows(table) < 0 {
+			yield(nil, fmt.Errorf("store: no table %q to scan", table))
+			return
+		}
+		sc, err := openSegScanner(s.segPath(table))
+		if err != nil {
+			if sc != nil {
+				sc.close()
+			}
+			yield(nil, err)
+			return
+		}
+		defer sc.close()
+		for {
+			rows, ok := sc.next()
+			if !ok {
+				return
+			}
+			if !yield(rows, nil) {
+				return
+			}
+		}
+	}
+}
+
 // AppendRows appends rows to the named table's segment as one checksummed
 // record, syncs the segment to disk, and advances the manifest watermark.
 // This is the follow-mode persistence primitive: each poll's batch of new
@@ -197,6 +236,41 @@ func (s *Store) AppendRows(table string, rows [][]relation.Value) error {
 		return err
 	}
 	mt.Rows += len(rows)
+	return s.writeManifest()
+}
+
+// SaveTable writes (or replaces) one table's segment and manifest entry in
+// the open store, leaving every other table untouched. This is the
+// persistence path for derived tables computed after Create — above all the
+// federation's merged-log Groups table, which a shard store persists so the
+// next federate.Join warm-starts from the identical copy instead of
+// retraining. A new table is appended to the manifest (after every existing
+// table, so reopened table order — and with it the schema-version
+// arithmetic — is reproducible); an existing entry keeps its position. A
+// warm-start snapshot is not removed: its own schema fingerprint already
+// rejects it if the saved table changed what the snapshot described.
+func (s *Store) SaveTable(t *relation.Table) error {
+	name := t.Name()
+	if err := writeSegment(s.segPath(name), t); err != nil {
+		return fmt.Errorf("store: writing segment %s: %w", name, err)
+	}
+	mt := manifestTable{
+		Name:    name,
+		Columns: t.Columns(),
+		Kinds:   inferKinds(t),
+		Rows:    t.NumRows(),
+	}
+	replaced := false
+	for i := range s.man.Tables {
+		if s.man.Tables[i].Name == name {
+			s.man.Tables[i] = mt
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.man.Tables = append(s.man.Tables, mt)
+	}
 	return s.writeManifest()
 }
 
