@@ -28,6 +28,7 @@ import (
 	"repro/internal/groups"
 	"repro/internal/metrics"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/pathmodel"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -479,6 +480,47 @@ func BenchmarkEvalLazy(b *testing.B) { benchmarkEval(b, true) }
 // materialized valueSet oracle; its live-B is the retained reach memo the
 // lazy path eliminates (the acceptance bar is >= 5x between the two).
 func BenchmarkEvalMaterialized(b *testing.B) { benchmarkEval(b, false) }
+
+// BenchmarkObsOverhead prices the observability layer on the hot lazy
+// evaluation of BenchmarkEvalLazy. The disabled sub-benchmark runs with
+// every obs surface off — its cost over the plain BenchmarkEvalLazy is the
+// layer's passive tax (one atomic gate load per entry point plus a nil
+// check per op visit), and the PR's acceptance bar holds it within 2% of
+// the pre-PR baseline. The enabled sub-benchmark turns on the full surface
+// — timed metrics, an active span tracer, and per-op exec stats — and
+// prices what a diagnosed run pays.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) { benchmarkEvalObs(b, false) })
+	b.Run("enabled", func(b *testing.B) { benchmarkEvalObs(b, true) })
+}
+
+// benchmarkEvalObs is benchmarkEval's lazy path with the observability
+// surface toggled as one unit: obs.Enabled (timed metrics), an installed
+// tracer, and per-engine exec statistics.
+func benchmarkEvalObs(b *testing.B, enabled bool) {
+	if enabled {
+		obs.SetEnabled(true)
+		prev := obs.SetTracer(obs.NewTracer(0))
+		b.Cleanup(func() {
+			obs.SetEnabled(false)
+			obs.SetTracer(prev)
+		})
+	}
+	a := mediumAuditor(b)
+	tpl := explain.DeptTemplate("appt-same-dept", "Appointments", "an appointment")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := query.NewEvaluator(a.Database())
+		ev.SetLazyEval(true)
+		ev.SetReachMemoCap(0)
+		ev.SetExecStats(enabled)
+		pp := ev.Prepare(tpl.Path)
+		if len(pp.ExplainedRows()) == 0 {
+			b.Fatal("empty mask")
+		}
+	}
+}
 
 // --- federated benchmarks --------------------------------------------------
 

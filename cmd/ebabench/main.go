@@ -6,14 +6,14 @@
 //	ebabench [-scale tiny|small|medium] [-seed N] [-experiment name] [-json]
 //
 // Experiments: fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13
-// fig14 table1 headline startup lazy, or "all" (default).
+// fig14 table1 headline startup lazy obs, or "all" (default).
 //
 // With -json, a machine-readable BENCH_<n>.json snapshot of the run — the
-// dataset shape, per-experiment wall times, and any experiment-reported
-// metrics (schema 2) — is written to the working directory, numbered one
-// past the highest existing snapshot. The committed BENCH_*.json files form
-// the repo's performance trajectory; CI uploads each run's snapshot as an
-// artifact.
+// dataset shape, per-experiment wall times, any experiment-reported metrics,
+// and (schema 3) any experiment-reported metrics-registry snapshot — is
+// written to the working directory, numbered one past the highest existing
+// snapshot. The committed BENCH_*.json files form the repo's performance
+// trajectory; CI uploads each run's snapshot as an artifact.
 package main
 
 import (
@@ -49,11 +49,14 @@ type benchSnapshot struct {
 
 // benchExperiment is one experiment's wall time within a snapshot, plus any
 // named metrics the experiment itself reports (schema 2; experiments whose
-// figure type implements Metrics() map[string]float64).
+// figure type implements Metrics() map[string]float64) and any flattened
+// metrics-registry snapshot it reports (schema 3; figure types implementing
+// RegistrySnapshot() map[string]int64 — see the obs experiment).
 type benchExperiment struct {
-	Name    string             `json:"name"`
-	Millis  int64              `json:"millis"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name     string             `json:"name"`
+	Millis   int64              `json:"millis"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Registry map[string]int64   `json:"registry,omitempty"`
 }
 
 func main() {
@@ -86,7 +89,7 @@ func main() {
 		env.FullLog.NumRows(), len(env.DS.Patients), len(env.DS.Users))
 
 	snap := benchSnapshot{
-		Schema:        2,
+		Schema:        3,
 		Timestamp:     start.UTC().Format(time.RFC3339),
 		GoVersion:     runtime.Version(),
 		MaxProcs:      runtime.GOMAXPROCS(0),
@@ -100,6 +103,7 @@ func main() {
 
 	type renderer interface{ Render() string }
 	type metricser interface{ Metrics() map[string]float64 }
+	type registrar interface{ RegistrySnapshot() map[string]int64 }
 	run := func(name string, f func() renderer) {
 		if *which != "all" && *which != name {
 			return
@@ -113,6 +117,9 @@ func main() {
 		exp := benchExperiment{Name: name, Millis: took.Milliseconds()}
 		if m, ok := r.(metricser); ok {
 			exp.Metrics = m.Metrics()
+		}
+		if reg, ok := r.(registrar); ok {
+			exp.Registry = reg.RegistrySnapshot()
 		}
 		snap.Experiments = append(snap.Experiments, exp)
 	}
@@ -130,6 +137,7 @@ func main() {
 	run("headline", func() renderer { return experiments.Headline(env) })
 	run("startup", func() renderer { return experiments.Startup(env) })
 	run("lazy", func() renderer { return experiments.Lazy(env) })
+	run("obs", func() renderer { return experiments.Obs(env) })
 
 	if *which != "all" && !validExperiment(*which) {
 		fmt.Fprintf(os.Stderr, "ebabench: unknown experiment %q\n", *which)
@@ -176,7 +184,7 @@ func writeSnapshot(dir string, snap benchSnapshot) (string, error) {
 }
 
 func validExperiment(name string) bool {
-	for _, n := range strings.Split("fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13 fig14 table1 headline startup lazy", " ") {
+	for _, n := range strings.Split("fig6 fig7 fig8 fig9 fig10-11 fig12 fig12-decorated fig13 fig14 table1 headline startup lazy obs", " ") {
 		if n == name {
 			return true
 		}

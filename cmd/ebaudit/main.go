@@ -10,6 +10,7 @@
 //	ebaudit [flags] patient -id N        # portal report for one patient
 //	ebaudit [flags] audit [-n N] [-v] [-stream] [-shards K]
 //	                [-follow [-poll D] [-follow-rows N]]
+//	                [-trace FILE] [-explain]
 //	                                     # batch-audit every access in parallel;
 //	                                     # -stream emits NDJSON reports in log
 //	                                     # order with bounded memory; -shards K
@@ -33,7 +34,19 @@
 // federated audit divides the budget across the shard engines but always
 // runs at least one worker per shard, so its effective parallelism is
 // max(-j, shard count). audit -v additionally reports the query engine's
-// plan-cache and reach-memo counters (per shard, when federated).
+// plan-cache and reach-memo counters (per shard, when federated) and dumps
+// the merged metrics registry on stderr.
+//
+// Observability: the top-level -metrics-addr flag serves the live registry
+// and profiling endpoints (/metrics in Prometheus text format, /debug/vars
+// as JSON, /debug/pprof) for the life of the process. audit -trace FILE
+// writes the run's spans — mask builds, batch scheduling — to FILE as
+// NDJSON, one span per line, through a bounded ring that drops (and counts)
+// rather than block. audit -explain enables per-op execution statistics and
+// prints, after the audit, each path template's planner decisions and
+// EXPLAIN ANALYZE-style per-op counters (rows in/out, postings consumed,
+// memo hits); stream and follow modes keep stdout pure NDJSON, so the
+// report lands on stderr there.
 //
 // The -data flag loads the database from a directory of typed CSVs (the
 // format `ebaudit export` writes) instead of generating one; malformed input
@@ -80,6 +93,7 @@ import (
 	"repro/internal/federate"
 	"repro/internal/groups"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/pathmodel"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -114,8 +128,14 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 	parallelism := fs.Int("j", runtime.GOMAXPROCS(0), "batch auditing workers")
 	dataDir := fs.String("data", "", "load tables from a directory of typed CSVs (see 'ebaudit export') instead of generating; a comma-separated list federates one shard per directory")
 	storeDir := fs.String("store", "", "open (or create from -data / the generated dataset) a binary segment store; restarts resume warm from its snapshot; a comma-separated list federates one shard per store")
+	metricsAddr := fs.String("metrics-addr", "", "serve live observability on this address for the life of the process: /metrics (Prometheus text), /debug/vars (JSON), /debug/pprof/*")
 	if err := fs.Parse(argv); err != nil {
 		return errUsage
+	}
+	if *metricsAddr != "" {
+		// Enable before the app is built so plan-compile timings and mask
+		// build histograms cover the whole run the endpoint reports on.
+		obs.SetEnabled(true)
 	}
 	if fs.NArg() < 1 {
 		usage(stderr)
@@ -195,6 +215,13 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 	a.stdout, a.stderr = stdout, stderr
+	if *metricsAddr != "" {
+		bound, err := a.serveMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "ebaudit: serving /metrics, /debug/vars, /debug/pprof on %s\n", bound)
+	}
 
 	cmd, args := fs.Arg(0), fs.Args()[1:]
 	switch cmd {
@@ -221,9 +248,10 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR[,DIR...]] [-store DIR[,DIR...]] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
-	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals), -stream (NDJSON reports in log order, bounded memory), -shards K (federated shard-parallel audit), -follow (poll -data for appended rows, incremental refresh; with -poll D, -follow-rows N)")
+	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR[,DIR...]] [-store DIR[,DIR...]] [-metrics-addr ADDR] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
+	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals + metrics dump), -stream (NDJSON reports in log order, bounded memory), -shards K (federated shard-parallel audit), -follow (poll -data for appended rows, incremental refresh; with -poll D, -follow-rows N), -trace FILE (NDJSON observability spans), -explain (per-template plan + per-op execution report)")
 	fmt.Fprintln(w, "  export flags: -dir DIR, -format csv|store")
+	fmt.Fprintln(w, "  -metrics-addr serves /metrics (Prometheus), /debug/vars (JSON), /debug/pprof for the life of the process")
 }
 
 // app holds the prepared auditor — a single engine, or a federation of
@@ -673,6 +701,8 @@ func (a *app) audit(args []string) error {
 	follow := fs.Bool("follow", false, "after auditing the current log, poll -data for appended rows and emit only their NDJSON reports (incremental mask refresh)")
 	poll := fs.Duration("poll", 2*time.Second, "follow mode: interval between -data polls")
 	followRows := fs.Int("follow-rows", 0, "follow mode: exit once this many rows have been audited (0 = run until interrupted)")
+	tracePath := fs.String("trace", "", "write the audit's observability spans to FILE as NDJSON (one span per line)")
+	explainPlans := fs.Bool("explain", false, "after auditing, print each template's plan decisions and per-op execution counters (single engine only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -699,6 +729,58 @@ func (a *app) audit(args []string) error {
 		}
 	}
 
+	if *explainPlans {
+		if fed != nil {
+			return errors.New("audit -explain requires a single engine (no -shards or multi-directory -data)")
+		}
+		// Exec stats must be on before the audit so the per-plan counters
+		// cover the run the report describes.
+		obs.SetEnabled(true)
+		a.auditor.Evaluator().SetExecStats(true)
+	}
+	var finishTrace func() error
+	if *tracePath != "" {
+		var err error
+		if finishTrace, err = startTrace(*tracePath, a.stderr); err != nil {
+			return err
+		}
+	}
+
+	err := a.runAudit(fed, workers, n, verbose, stream, follow, poll, followRows)
+
+	// Post-run observability surfacing, on every audit mode's exit path: the
+	// span drain (even after a failed run — partial traces are exactly what
+	// a failure investigation wants), then the explain report and the -v
+	// metrics dump. Stream and follow modes own stdout for NDJSON, so those
+	// reports go to stderr there and to stdout otherwise.
+	if finishTrace != nil {
+		if terr := finishTrace(); err == nil {
+			err = terr
+		}
+	}
+	if err == nil {
+		human := a.stdout
+		if *stream || *follow {
+			human = a.stderr
+		}
+		if *explainPlans {
+			a.printExplainReport(human)
+		}
+		if *verbose {
+			snap := a.metricsSnapshot()
+			if fed != nil {
+				snap = fed.MetricsSnapshot()
+			}
+			dumpMetrics(a.stderr, snap)
+		}
+	}
+	return err
+}
+
+// runAudit dispatches the parsed audit flags to the follow, stream, or
+// materialized mode; audit wraps it so post-run observability surfacing
+// happens on every path.
+func (a *app) runAudit(fed *federate.Federation, workers int, n *int, verbose, stream, follow *bool, poll *time.Duration, followRows *int) error {
 	if *follow {
 		if *stream {
 			return errors.New("audit -follow already streams NDJSON; drop -stream")
@@ -796,9 +878,13 @@ func (a *app) auditStreamFederated(fed *federate.Federation, workers int, verbos
 // line per shard engine.
 func (a *app) printFederatedStats(w io.Writer, fed *federate.Federation) {
 	agg := fed.PlanCacheStats()
-	fmt.Fprintf(w, "plan cache (all shards): %d hits, %d misses; planner: %d planned, %d contractions, %d pairs pruned; reach memo: %d resident entries, %d evictions; mask cache: %d hits, %d recomputes, %d extensions\n",
+	cap := fmt.Sprintf("per-plan cap %d", agg.ReachCapMax)
+	if agg.ReachCapMin != agg.ReachCapMax {
+		cap = fmt.Sprintf("per-plan cap min %d / max %d", agg.ReachCapMin, agg.ReachCapMax)
+	}
+	fmt.Fprintf(w, "plan cache (all shards): %d hits, %d misses; planner: %d planned, %d contractions, %d pairs pruned; reach memo: %d resident entries, %d evictions (%s); mask cache: %d hits, %d recomputes, %d extensions\n",
 		agg.Hits, agg.Misses, agg.PlansPlanned, agg.PlanContractions, agg.PlanPairsPruned,
-		agg.ReachEntries, agg.ReachEvictions,
+		agg.ReachEntries, agg.ReachEvictions, cap,
 		agg.MaskHits, agg.MaskRecomputes, agg.MaskExtensions)
 	for _, si := range fed.ShardInfos() {
 		fmt.Fprintf(w, "  %s: %d rows, plan cache %d hits / %d misses, reach memo %d entries / %d evictions (cap %d), masks %d/%d/%d\n",

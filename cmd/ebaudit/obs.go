@@ -1,0 +1,167 @@
+// Observability surfacing for the CLI: the -metrics-addr live endpoint
+// (Prometheus text, expvar-style JSON, pprof), the audit -trace NDJSON span
+// sink, the audit -explain per-template plan+exec report, and the -v metrics
+// dump. Everything here reads the same internal/obs registries the engine
+// layers write; nothing below this file knows the CLI exists.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"repro/internal/explain"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// metricsSnapshot merges every registry the app's engine topology writes:
+// each shard engine's registry (per-engine metrics carry shard attribution)
+// plus the process-wide obs.Default registry (parallel and store metrics,
+// which have no engine to hang on).
+func (a *app) metricsSnapshot() map[string]obs.Metric {
+	if a.fed != nil {
+		return a.fed.MetricsSnapshot()
+	}
+	return obs.Merge(a.auditor.Evaluator().Metrics().Snapshot(), obs.Default.Snapshot())
+}
+
+// serveMetrics binds addr and serves the live observability endpoints for
+// the rest of the process's life: /metrics (Prometheus text format),
+// /debug/vars (expvar-style JSON), and /debug/pprof/* (the standard
+// profiling handlers). It returns the bound address so ":0" requests can
+// report the kernel-chosen port.
+func (a *app) serveMetrics(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, a.metricsSnapshot())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = obs.WriteJSON(w, a.metricsSnapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("-metrics-addr %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // endpoint lives until the process exits
+	return ln.Addr().String(), nil
+}
+
+// dumpMetrics writes a registry snapshot as one "name value" line per
+// metric (histograms as count/sum/mean), sorted by name — the -v teaching
+// view of what /metrics would serve.
+func dumpMetrics(w io.Writer, snap map[string]obs.Metric) {
+	fmt.Fprintln(w, "metrics:")
+	for _, name := range obs.SortedNames(snap) {
+		m := snap[name]
+		if m.Kind == obs.KindHistogram {
+			mean := int64(0)
+			if m.Count > 0 {
+				mean = m.Sum / m.Count
+			}
+			fmt.Fprintf(w, "  %-40s count=%d sum=%d mean=%d\n", name, m.Count, m.Sum, mean)
+			continue
+		}
+		fmt.Fprintf(w, "  %-40s %d\n", name, m.Value)
+	}
+}
+
+// startTrace enables observability, installs a fresh span tracer, and
+// returns the finisher that restores the previous tracer, drains the
+// collected spans to path as NDJSON, and reports the span and drop counts
+// on stderr. The ring is bounded: a run that out-produces it drops spans
+// (counted, reported) rather than blocking the audit.
+func startTrace(path string, stderr io.Writer) (finish func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-trace: %w", err)
+	}
+	obs.SetEnabled(true)
+	tr := obs.NewTracer(0)
+	prev := obs.SetTracer(tr)
+	return func() error {
+		obs.SetTracer(prev)
+		n, derr := tr.Drain(f)
+		cerr := f.Close()
+		fmt.Fprintf(stderr, "wrote %d spans to %s (%d dropped)\n", n, path, tr.Dropped())
+		if derr != nil {
+			return fmt.Errorf("-trace: draining spans: %w", derr)
+		}
+		return cerr
+	}, nil
+}
+
+// printExplainReport renders the EXPLAIN ANALYZE view of the audit just
+// run: for every registered template whose evaluation goes through the
+// compiled-plan cache, the planner's decisions (PlanInfo) followed by the
+// per-op execution counters the audit accumulated (ExecTrace). Templates
+// that evaluate outside the plan cache — decorated DFS templates,
+// log-only templates — get a note instead of a fabricated zero trace.
+func (a *app) printExplainReport(w io.Writer) {
+	ev := a.auditor.Evaluator()
+	for _, t := range a.auditor.Templates() {
+		tpl, ok := t.(*explain.PathTemplate)
+		if !ok {
+			fmt.Fprintf(w, "template %s: evaluates outside the plan cache (%s); no exec trace\n",
+				t.Name(), templateKind(t))
+			continue
+		}
+		pp := ev.Prepare(tpl.Path)
+		printPlanExec(w, t.Name(), pp.PlanInfo(), pp.ExecTrace())
+	}
+}
+
+// templateKind names the evaluation strategy of a non-plan-cache template
+// for the -explain notes.
+func templateKind(t explain.Template) string {
+	if _, ok := t.(*explain.DecoratedTemplate); ok {
+		return "decorated bound-tuple DFS"
+	}
+	return "direct log scan"
+}
+
+// printPlanExec renders one template's plan decisions and per-op execution
+// counters. Counter semantics: rows-in is values entering the op, rows-out
+// values that qualified, postings the pair-list entries consumed (the same
+// events PostingsScanned counts, attributed per op), memo the evaluations a
+// memo answered without walking.
+func printPlanExec(w io.Writer, name string, info query.PlanInfo, tr query.ExecTrace) {
+	side := "start-side"
+	if info.EndSide {
+		side = "end-side"
+	}
+	if info.Planned {
+		fmt.Fprintf(w, "template %s: plan %d->%d ops (%d contractions), pairs %d->%d (%d pruned), %s, planned in %v\n",
+			name, info.HopsDeclared, info.HopsPlanned, info.Contractions,
+			info.PairsDeclared, info.PairsPlanned, info.PairsPruned,
+			side, time.Duration(info.PlanNanos).Round(time.Microsecond))
+	} else {
+		fmt.Fprintf(w, "template %s: declared-order plan (planner disabled)\n", name)
+	}
+	if len(tr.Ops) == 0 {
+		fmt.Fprintln(w, "  (no execution recorded)")
+		return
+	}
+	fmt.Fprintf(w, "  %-3s %-7s %-28s %12s %12s %12s %10s\n",
+		"op", "kind", "table", "rows-in", "rows-out", "postings", "memo")
+	for i, o := range tr.Ops {
+		table := o.Table
+		if table == "" {
+			table = "-"
+		}
+		fmt.Fprintf(w, "  %-3d %-7s %-28s %12d %12d %12d %10d\n",
+			i, o.Kind, table, o.RowsIn, o.RowsOut, o.Postings, o.MemoHits)
+	}
+}

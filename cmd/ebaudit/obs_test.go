@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestObsFlagsKeepStreamByteIdentical is the observability differential:
+// enabling every obs surface at once — span tracing, exec stats + the
+// explain report, the -v metrics dump, and a live -metrics-addr endpoint —
+// must not change a single byte of the audit's NDJSON stdout, across seeds
+// and worker counts. All observability output belongs to stderr (or the
+// trace file); stdout is the data plane.
+func TestObsFlagsKeepStreamByteIdentical(t *testing.T) {
+	for _, seed := range []string{"1", "2", "3"} {
+		for _, j := range []string{"1", "4"} {
+			var plain, plainErr bytes.Buffer
+			if err := run([]string{"-seed", seed, "-j", j, "audit", "-stream"}, &plain, &plainErr); err != nil {
+				t.Fatalf("seed %s j %s plain: %v\nstderr: %s", seed, j, err, plainErr.String())
+			}
+			trace := filepath.Join(t.TempDir(), "spans.ndjson")
+			var obsOut, obsErr bytes.Buffer
+			argv := []string{"-metrics-addr", "127.0.0.1:0", "-seed", seed, "-j", j,
+				"audit", "-stream", "-v", "-explain", "-trace", trace}
+			if err := run(argv, &obsOut, &obsErr); err != nil {
+				t.Fatalf("seed %s j %s obs: %v\nstderr: %s", seed, j, err, obsErr.String())
+			}
+			if plain.String() != obsOut.String() {
+				t.Errorf("seed %s j %s: NDJSON stream changed under observability flags", seed, j)
+			}
+			for _, sub := range []string{"metrics:", "core.mask.", "template ", "rows-in", "wrote ", "serving /metrics"} {
+				if !strings.Contains(obsErr.String(), sub) {
+					t.Errorf("seed %s j %s: stderr missing %q:\n%s", seed, j, sub, obsErr.String())
+				}
+			}
+			validateSpanFile(t, trace)
+		}
+	}
+}
+
+// validateSpanFile checks the -trace output against the span NDJSON schema:
+// one JSON object per line with a non-empty name, a positive unique id, a
+// parent (when present) referring to an already-seen span, and sane
+// timestamps.
+func validateSpanFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("trace %s is empty", path)
+	}
+	seen := map[uint64]bool{}
+	for i, line := range lines {
+		var rec struct {
+			Name    string         `json:"name"`
+			ID      uint64         `json:"id"`
+			Parent  uint64         `json:"parent"`
+			StartNs int64          `json:"start_ns"`
+			DurNs   int64          `json:"dur_ns"`
+			Attrs   map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		switch {
+		case rec.Name == "":
+			t.Errorf("trace line %d: empty span name", i+1)
+		case rec.ID == 0:
+			t.Errorf("trace line %d: zero span id", i+1)
+		case seen[rec.ID]:
+			t.Errorf("trace line %d: duplicate span id %d", i+1, rec.ID)
+		case rec.StartNs <= 0 || rec.DurNs < 0:
+			t.Errorf("trace line %d: bad timestamps start=%d dur=%d", i+1, rec.StartNs, rec.DurNs)
+		}
+		seen[rec.ID] = true
+	}
+	// The batch layer's parent span is published after its children (End
+	// order), so parent references are checked once all ids are known.
+	for i, line := range lines {
+		var rec struct {
+			Parent uint64 `json:"parent"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err == nil && rec.Parent != 0 && !seen[rec.Parent] {
+			t.Errorf("trace line %d: parent %d not in trace", i+1, rec.Parent)
+		}
+	}
+}
+
+// TestAuditExplainFederatedRefused pins -explain's single-engine contract:
+// per-op exec counters live on each shard engine's plan entries, so a
+// federated report would silently show one shard's numbers.
+func TestAuditExplainFederatedRefused(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"audit", "-shards", "2", "-explain"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-explain requires a single engine") {
+		t.Fatalf("audit -shards -explain: got %v, want single-engine error", err)
+	}
+}
+
+// TestAuditExplainMaterialized smoke-tests the non-stream explain surface:
+// the report lands on stdout after the human-readable audit summary, one
+// block per path template, and the plan-cache-external templates get notes.
+func TestAuditExplainMaterialized(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"audit", "-explain"}, &stdout, &stderr); err != nil {
+		t.Fatalf("audit -explain: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, sub := range []string{"batch-audited", "template appt-same-dept: plan", "rows-in", "outside the plan cache"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("explain output missing %q:\n%s", sub, out)
+		}
+	}
+}

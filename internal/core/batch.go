@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"runtime"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/explain"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/query"
 )
@@ -147,18 +149,38 @@ func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([]*bitset.B
 			}
 		}
 
+		sp := obs.StartSpan("core.mask.ensure").
+			Annotate("templates", nt).
+			Annotate("stale", len(tasks)).
+			Annotate("shards", len(shards)).
+			Annotate("workers", workers)
+		timed := obs.Enabled()
 		cursors := make([]*query.Evaluator, workers)
 		for w := range cursors {
 			cursors[w] = a.ev.Clone()
 		}
 		parallel.ForEach(workers, len(shards), func() bool { return ctx.Err() != nil }, func(w, k int) {
 			s := shards[k]
+			tk := tasks[s.task]
+			ssp := sp.Child("core.mask.shard").
+				Annotate("template", a.templates[tk.tpl].Name()).
+				Annotate("lo", s.lo).
+				Annotate("hi", s.hi).
+				Annotate("worker", w)
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			// Shards of one task cover word-disjoint ranges of its private
 			// bitset (interior boundaries are 64-aligned), so no lock is
 			// needed until publication below.
-			tk := tasks[s.task]
 			tk.bits.SetBools(s.lo, a.templates[tk.tpl].EvaluateRange(cursors[w], s.lo, s.hi))
+			if timed {
+				a.maskEvalNanos.Observe(time.Since(t0).Nanoseconds())
+			}
+			ssp.End()
 		})
+		sp.End()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -28,7 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/accesslog"
 	"repro/internal/bitset"
@@ -36,6 +36,7 @@ import (
 	"repro/internal/groups"
 	"repro/internal/metrics"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/pathmodel"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -85,11 +86,18 @@ type Auditor struct {
 	masks map[int]*maskEntry
 
 	// Mask-cache outcome counters (see query.PlanCacheStats): masks served
-	// as-is, built from row 0, and extended over appended rows. Atomics so
-	// concurrent batch calls can count without widening mu's critical
-	// sections; concurrent callers racing to fill the same mask each count
-	// their own outcome.
-	maskHits, maskRecomputes, maskExtensions atomic.Int64
+	// as-is, built from row 0, and extended over appended rows
+	// (core.mask.hits / .recomputes / .extensions in the engine's metrics
+	// registry, resolved once at construction). Atomic counters so concurrent
+	// batch calls can count without widening mu's critical sections;
+	// concurrent callers racing to fill the same mask each count their own
+	// outcome.
+	maskHits, maskRecomputes, maskExtensions *obs.Counter
+
+	// maskEvalNanos is the core.mask.eval_nanos histogram: wall time of each
+	// mask evaluation shard, observed only when obs.Enabled (the gate for
+	// anything that reads the clock).
+	maskEvalNanos *obs.Histogram
 }
 
 // maskEntry is one cached template mask: the packed explained-rows bitset,
@@ -161,6 +169,13 @@ func NewAuditor(db *relation.Database, graph *schemagraph.Graph, opts ...Option)
 	} else {
 		a.ev = query.NewEvaluator(db)
 	}
+	// The auditing layer registers its metrics in the engine's registry, so
+	// one snapshot (per federation shard) describes the whole stack.
+	reg := a.ev.Metrics()
+	a.maskHits = reg.Counter("core.mask.hits")
+	a.maskRecomputes = reg.Counter("core.mask.recomputes")
+	a.maskExtensions = reg.Counter("core.mask.extensions")
+	a.maskEvalNanos = reg.Histogram("core.mask.eval_nanos")
 	return a
 }
 
@@ -315,16 +330,31 @@ func (a *Auditor) mask(i int) *bitset.Bits {
 	}
 	var bits *bitset.Bits
 	lo := 0
+	outcome := "recompute"
 	if ok && e.rows < n && monotone {
 		bits = e.bits.Clone()
 		bits.Grow(n)
 		lo = e.rows
+		outcome = "extend"
 		a.maskExtensions.Add(1)
 	} else {
 		bits = bitset.New(n)
 		a.maskRecomputes.Add(1)
 	}
+	sp := obs.StartSpan("core.mask.build").
+		Annotate("template", a.templates[i].Name()).
+		Annotate("outcome", outcome).
+		Annotate("rows", n-lo)
+	timed := obs.Enabled()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	bits.SetBools(lo, a.templates[i].EvaluateRange(a.ev, lo, n))
+	if timed {
+		a.maskEvalNanos.Observe(time.Since(t0).Nanoseconds())
+	}
+	sp.End()
 	a.mu.Lock()
 	a.masks[i] = &maskEntry{bits: bits, rows: n, hist: hist}
 	a.mu.Unlock()
@@ -468,9 +498,9 @@ func (a *Auditor) ExplainedFraction() float64 {
 // single-engine and federated displays aggregate the same way.
 func (a *Auditor) PlanCacheStats() query.PlanCacheStats {
 	st := a.ev.PlanCacheStats()
-	st.MaskHits = a.maskHits.Load()
-	st.MaskRecomputes = a.maskRecomputes.Load()
-	st.MaskExtensions = a.maskExtensions.Load()
+	st.MaskHits = a.maskHits.Value()
+	st.MaskRecomputes = a.maskRecomputes.Value()
+	st.MaskExtensions = a.maskExtensions.Value()
 	return st
 }
 

@@ -52,6 +52,7 @@ import (
 	"repro/internal/explain"
 	"repro/internal/groups"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pathmodel"
 	"repro/internal/query"
@@ -709,11 +710,26 @@ func (f *Federation) ShardInfos() []ShardInfo {
 // PlanCacheStats aggregates the plan-cache and template-mask counters of
 // every shard engine (the coordinator's estimate-only evaluator holds no
 // plans and is excluded). ReachCap is -1 if the shards are configured with
-// differing caps; see query.PlanCacheStats.Add.
+// differing caps; ReachCapMin/ReachCapMax then bound the per-shard values.
+// See query.PlanCacheStats.Add.
 func (f *Federation) PlanCacheStats() query.PlanCacheStats {
 	agg := f.shards[0].auditor.PlanCacheStats()
 	for _, sh := range f.shards[1:] {
 		agg = agg.Add(sh.auditor.PlanCacheStats())
 	}
 	return agg
+}
+
+// MetricsSnapshot returns the federation-wide metrics view: every shard
+// engine's registry (query-plan, reach-memo, and mask-cache metrics, kept
+// per shard for attribution) merged with the process-wide obs.Default
+// registry (worker-pool, stream-merge, and store metrics, which have no
+// shard to belong to). Counters and histogram buckets sum across shards.
+func (f *Federation) MetricsSnapshot() map[string]obs.Metric {
+	snaps := make([]map[string]obs.Metric, 0, len(f.shards)+1)
+	for _, sh := range f.shards {
+		snaps = append(snaps, sh.auditor.Evaluator().Metrics().Snapshot())
+	}
+	snaps = append(snaps, obs.Default.Snapshot())
+	return obs.Merge(snaps...)
 }

@@ -1,0 +1,57 @@
+// Package obs is the engine's dependency-free observability layer: a
+// metrics registry of atomic counters, gauges, and log₂-bucket latency
+// histograms (registry.go), and a span tracer emitting NDJSON through a
+// bounded lock-cheap ring (trace.go). Every internal layer records into it —
+// query (plan compile and per-op execution statistics), core (mask
+// build/extend timing), parallel (worker utilization, reorder-window
+// occupancy, merge backpressure), store (bytes moved, sync latency, recovery
+// events) — and the CLIs surface it as a Prometheus text page, an
+// expvar-style JSON document, NDJSON span files, and EXPLAIN ANALYZE-style
+// plan reports.
+//
+// Metric names follow layer.subsystem.name, all lowercase with underscores
+// inside a segment: query.plan.hits, core.mask.build_nanos,
+// parallel.stream.stalls, store.segment.bytes_written. Durations are always
+// nanoseconds and carry a _nanos suffix.
+//
+// # Cost discipline
+//
+// The layer is engineered so that *disabled* observability is free enough to
+// leave compiled in everywhere:
+//
+//   - counters and gauges are single atomic adds on pointers the caller
+//     resolved once at construction — the registry lookup is never on a hot
+//     path;
+//   - spans go through the package-level active tracer: StartSpan is one
+//     atomic pointer load when no tracer is installed, returning a zero Span
+//     whose End is a no-op;
+//   - wall-clock measurement (histograms of durations) is gated behind
+//     Enabled(), one atomic bool load, so the disabled path never calls
+//     time.Now.
+//
+// BenchmarkObsOverhead in the repo root pins the disabled path within noise
+// of the pre-instrumentation baseline.
+package obs
+
+import "sync/atomic"
+
+// enabled gates wall-clock-measuring instrumentation (see Enabled).
+var enabled atomic.Bool
+
+// SetEnabled turns time-measuring instrumentation (latency histograms,
+// utilization timers) on or off process-wide. Counters and gauges are cheap
+// enough to be unconditional; only instrumentation that would call time.Now
+// on a hot path checks this gate. The default is off.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether time-measuring instrumentation is on. It is one
+// atomic load — callers use it inline on hot paths.
+func Enabled() bool { return enabled.Load() }
+
+// Default is the process-wide registry used by layers whose state is global
+// rather than per-engine (parallel pipelines, the segment store). Engines
+// that can be instantiated several times in one process — the query engine,
+// one per federation shard — carry their own Registry instead, so per-shard
+// snapshots stay attributable; display layers merge the two views with
+// Merge.
+var Default = NewRegistry()

@@ -78,7 +78,16 @@ func MergeStreams[T any](buffer int, less func(a, b T) bool, emit func(T) error,
 	heads := make([]T, len(sources))
 	alive := make([]bool, len(sources))
 	pull := func(i int) (bool, error) {
-		v, ok := <-chans[i]
+		var v T
+		var ok bool
+		select {
+		case v, ok = <-chans[i]:
+			// The source had an item (or a close) ready: no stall.
+		default:
+			// Empty channel: the merge is about to block on a slow source.
+			mergeStalls.Add(1)
+			v, ok = <-chans[i]
+		}
 		if ok {
 			heads[i] = v
 			return true, nil
@@ -109,6 +118,7 @@ func MergeStreams[T any](buffer int, less func(a, b T) bool, emit func(T) error,
 			stop()
 			return err
 		}
+		mergeEmitted.Add(1)
 		ok, err := pull(min)
 		if err != nil {
 			stop()

@@ -1,0 +1,37 @@
+package parallel
+
+import "repro/internal/obs"
+
+// Pool metrics live in the process-wide obs.Default registry (this package
+// has no engine to hang a registry on — one pool serves every layer), with
+// the metric handles resolved once at package init so the claim loops pay a
+// single atomic add per event. Clock-reading instrumentation (per-item busy
+// time, window occupancy scans) is additionally gated on obs.Enabled.
+var (
+	// parallel.pool.items counts work items completed by ForEach and
+	// OrderedChunks workers across every pool.
+	poolItems = obs.Default.Counter("parallel.pool.items")
+
+	// parallel.pool.busy_nanos is the per-item body/produce wall time; with
+	// parallel.pool.items and the run's wall clock it yields worker
+	// utilization (sum busy / (workers * wall)).
+	poolBusyNanos = obs.Default.Histogram("parallel.pool.busy_nanos")
+
+	// parallel.ordered.window_stalls counts workers that blocked because the
+	// reorder window was full — the producer side ran ahead of the emitter by
+	// a whole window (backpressure from the consumer).
+	orderedStalls = obs.Default.Counter("parallel.ordered.window_stalls")
+
+	// parallel.ordered.window_occupancy samples, at each emission, how many
+	// reorder slots held a produced chunk — how much of the bounded window
+	// the pipeline actually uses.
+	orderedOccupancy = obs.Default.Histogram("parallel.ordered.window_occupancy")
+
+	// parallel.merge.emitted counts items emitted by MergeStreams.
+	mergeEmitted = obs.Default.Counter("parallel.merge.emitted")
+
+	// parallel.merge.stalls counts pulls that found a source's channel empty
+	// and had to block — the merge waiting on a slow shard (backpressure from
+	// the producer side).
+	mergeStalls = obs.Default.Counter("parallel.merge.stalls")
+)

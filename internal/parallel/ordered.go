@@ -3,6 +3,9 @@ package parallel
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // OrderedChunks is the streaming counterpart of ForEach: it splits [0, n)
@@ -48,13 +51,23 @@ func OrderedChunks[T any](workers, n, chunkSize, window int, stop func() bool, p
 		return lo, hi
 	}
 
+	timed := obs.Enabled()
 	if workers <= 1 {
 		for c := 0; c < chunks; c++ {
 			if stop != nil && stop() {
 				return nil
 			}
 			lo, hi := bounds(c)
-			if err := emit(produce(0, lo, hi)); err != nil {
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			v := produce(0, lo, hi)
+			if timed {
+				poolBusyNanos.Observe(time.Since(t0).Nanoseconds())
+			}
+			poolItems.Add(1)
+			if err := emit(v); err != nil {
 				return err
 			}
 		}
@@ -104,6 +117,11 @@ func OrderedChunks[T any](workers, n, chunkSize, window int, stop func() bool, p
 					return
 				}
 				mu.Lock()
+				if c >= base+window && !done {
+					// The reorder window is full: this worker ran a whole
+					// window ahead of the emitter and blocks until slots free.
+					orderedStalls.Add(1)
+				}
 				for c >= base+window && !done {
 					cond.Wait()
 				}
@@ -114,7 +132,15 @@ func OrderedChunks[T any](workers, n, chunkSize, window int, stop func() bool, p
 				mu.Unlock()
 
 				lo, hi := bounds(c)
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+				}
 				v := produce(w, lo, hi)
+				if timed {
+					poolBusyNanos.Observe(time.Since(t0).Nanoseconds())
+				}
+				poolItems.Add(1)
 
 				mu.Lock()
 				if done {
@@ -138,6 +164,17 @@ func OrderedChunks[T any](workers, n, chunkSize, window int, stop func() bool, p
 		if done {
 			mu.Unlock()
 			break
+		}
+		if timed {
+			// Sample how much of the reorder window is resident at this
+			// emission; the O(window) scan runs only when observability is on.
+			occ := 0
+			for _, f := range filled {
+				if f {
+					occ++
+				}
+			}
+			orderedOccupancy.Observe(int64(occ))
 		}
 		v := slots[c%window]
 		slots[c%window] = zero // release the chunk as soon as it is emitted

@@ -9,6 +9,9 @@ package parallel
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ForEach runs body(worker, i) for every i in [0, count), distributing
@@ -31,12 +34,24 @@ func ForEach(workers, count int, stop func() bool, body func(worker, i int)) {
 	if workers > count {
 		workers = count
 	}
+	timed := obs.Enabled()
+	run := func(w, i int) {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		body(w, i)
+		if timed {
+			poolBusyNanos.Observe(time.Since(t0).Nanoseconds())
+		}
+		poolItems.Add(1)
+	}
 	if workers <= 1 {
 		for i := 0; i < count; i++ {
 			if stop != nil && stop() {
 				return
 			}
-			body(0, i)
+			run(0, i)
 		}
 		return
 	}
@@ -51,7 +66,7 @@ func ForEach(workers, count int, stop func() bool, body func(worker, i int)) {
 				if i >= count || (stop != nil && stop()) {
 					return
 				}
-				body(w, i)
+				run(w, i)
 			}
 		}(w)
 	}

@@ -50,6 +50,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pathmodel"
 	"repro/internal/relation"
 )
@@ -95,16 +96,30 @@ type engine struct {
 	plans       map[string]*cachedPlan
 	planVersion uint64
 
-	planHits   atomic.Int64
-	planMisses atomic.Int64
+	// reg is the engine's metrics registry. Every counter below is a named
+	// metric in it, resolved once at construction so the hot paths pay one
+	// atomic add, never a registry lookup. The registry is per-engine — each
+	// federation shard engine carries its own, keeping per-shard snapshots
+	// attributable — and PlanCacheStats remains the compatibility view over
+	// it.
+	reg *obs.Registry
+
+	planHits   *obs.Counter // query.plan.hits
+	planMisses *obs.Counter // query.plan.misses
+
+	// compileNanos is the query.plan.compile_nanos histogram: wall time of
+	// each plan compilation including the planner stage, observed only when
+	// obs.Enabled (the gate for anything that reads the clock).
+	compileNanos *obs.Histogram
 
 	// reachCap is the per-plan bound on resident reach-memo entries (0 =
 	// unbounded); it is read when a plan entry is created, and
 	// SetReachMemoCap additionally pushes a new value into every
 	// already-cached plan. reachEvictions counts reach-memo evictions across
-	// every plan of the engine.
+	// every plan of the engine (query.reach.evictions).
 	reachCap       atomic.Int64
-	reachEvictions atomic.Int64
+	reachCapGauge  *obs.Gauge // query.reach.cap
+	reachEvictions *obs.Counter
 
 	// plannerOff disables the compile-time planner stage (see planner.go);
 	// the zero value — planner on — is the default. Stored inverted so the
@@ -117,24 +132,52 @@ type engine struct {
 	// is the default.
 	lazyOff atomic.Bool
 
+	// execOff disables per-op execution statistics (rows in/out, postings,
+	// memo hits — see exec.go). Stored inverted like plannerOff would be if
+	// it defaulted on, except exec stats default OFF: the zero value means
+	// disabled, and SetExecStats(true) turns collection on. Disabled cost is
+	// one atomic load per evaluation entry point plus a nil check per op
+	// visit.
+	execOn atomic.Bool
+
 	// planEndSide counts closed plans for which the planner chose end-side
-	// propagation (see planner.go); snapshotted by PlanCacheStats.
-	planEndSide atomic.Int64
+	// propagation (see planner.go); snapshotted by PlanCacheStats
+	// (query.plan.end_side).
+	planEndSide *obs.Counter
 
 	// Planner decision aggregates across every plan the engine compiled:
 	// plans run through the planner, greedy hop contractions applied, pairs
 	// dropped by backward-feasible pruning, and total planning wall time.
-	// Snapshotted by PlanCacheStats.
-	plansPlanned     atomic.Int64
-	planContractions atomic.Int64
-	planPairsPruned  atomic.Int64
-	planNanos        atomic.Int64
+	// Snapshotted by PlanCacheStats (query.plan.planned / .contractions /
+	// .pairs_pruned / .nanos).
+	plansPlanned     *obs.Counter
+	planContractions *obs.Counter
+	planPairsPruned  *obs.Counter
+	planNanos        *obs.Counter
 
-	// backwardPasses counts feasibleStarts evaluations engine-wide — the
-	// observable the feas-memo tests pin down: an open plan shared by
-	// ConnectedRange and Support callers must run its backward pass once,
-	// not once per Support call.
-	backwardPasses atomic.Int64
+	// backwardPasses counts feasibleStarts evaluations engine-wide
+	// (query.feas.backward_passes) — the observable the feas-memo tests pin
+	// down: an open plan shared by ConnectedRange and Support callers must
+	// run its backward pass once, not once per Support call.
+	backwardPasses *obs.Counter
+}
+
+// initMetrics creates the engine's registry and resolves every named metric
+// the hot paths charge.
+func (eng *engine) initMetrics() {
+	reg := obs.NewRegistry()
+	eng.reg = reg
+	eng.planHits = reg.Counter("query.plan.hits")
+	eng.planMisses = reg.Counter("query.plan.misses")
+	eng.compileNanos = reg.Histogram("query.plan.compile_nanos")
+	eng.reachCapGauge = reg.Gauge("query.reach.cap")
+	eng.reachEvictions = reg.Counter("query.reach.evictions")
+	eng.planEndSide = reg.Counter("query.plan.end_side")
+	eng.plansPlanned = reg.Counter("query.plan.planned")
+	eng.planContractions = reg.Counter("query.plan.contractions")
+	eng.planPairsPruned = reg.Counter("query.plan.pairs_pruned")
+	eng.planNanos = reg.Counter("query.plan.nanos")
+	eng.backwardPasses = reg.Counter("query.feas.backward_passes")
 }
 
 // backwardPass runs feasibleStarts and counts it on the engine.
@@ -179,6 +222,7 @@ func NewEvaluator(db *relation.Database) *Evaluator {
 func NewEvaluatorWithLog(db *relation.Database, audited *relation.Table) *Evaluator {
 	log := audited
 	eng := &engine{db: db, log: log, plans: make(map[string]*cachedPlan), planVersion: db.SchemaVersion()}
+	eng.initMetrics()
 	pi, ok := log.ColumnIndex(pathmodel.LogPatientColumn)
 	if !ok {
 		panic("query: Log table lacks Patient column")
@@ -197,8 +241,15 @@ func NewEvaluatorWithLog(db *relation.Database, audited *relation.Table) *Evalua
 	eng.proj.Store(pr)
 	eng.projVersion.Store(log.AppendVersion())
 	eng.reachCap.Store(int64(defaultReachMemoCap(n)))
+	eng.reachCapGauge.Set(eng.reachCap.Load())
 	return &Evaluator{engine: eng}
 }
+
+// Metrics returns the engine's metrics registry — the observability surface
+// behind PlanCacheStats, shared by every cursor cloned from this evaluator.
+// Layers stacked on the engine (the auditor's mask cache) register their
+// metrics here so one snapshot describes the whole engine.
+func (ev *Evaluator) Metrics() *obs.Registry { return ev.engine.reg }
 
 // logProj is one immutable-prefix snapshot of the audited log's start/end
 // column projections: patients[r] and users[r] for every row the snapshot
@@ -272,6 +323,7 @@ func (ev *Evaluator) SetReachMemoCap(bound int) {
 	}
 	eng := ev.engine
 	eng.reachCap.Store(int64(bound))
+	eng.reachCapGauge.Set(int64(bound))
 	eng.planMu.RLock()
 	defer eng.planMu.RUnlock()
 	for _, ent := range eng.plans {
@@ -423,6 +475,47 @@ func propagate(pl plan, start relation.Value) valueSet {
 			}
 			cur = next
 		}
+		if len(cur) == 0 {
+			return cur
+		}
+	}
+	return cur
+}
+
+// propagateExec is propagate with per-op execution counting into el; it
+// falls straight through to propagate when collection is off (el == nil).
+// Materialized execution always walks pl.ops start-side, so counters index
+// the declared chain.
+func propagateExec(pl plan, start relation.Value, el *execLocal) valueSet {
+	if el == nil {
+		return propagate(pl, start)
+	}
+	cur := valueSet{start: {}}
+	for i, o := range pl.ops {
+		el.rowsIn[i] += int64(len(cur))
+		switch o.kind {
+		case opClose:
+			el.rowsOut[i] += int64(len(cur))
+			return cur
+		case opExists:
+			next := make(valueSet)
+			for v := range cur {
+				if _, ok := o.index[v]; ok {
+					next[v] = struct{}{}
+				}
+			}
+			cur = next
+		default: // opBridge, opMap
+			next := make(valueSet)
+			for v := range cur {
+				el.postings[i] += int64(len(o.pairs[v]))
+				for _, w := range o.pairs[v] {
+					next[w] = struct{}{}
+				}
+			}
+			cur = next
+		}
+		el.rowsOut[i] += int64(len(cur))
 		if len(cur) == 0 {
 			return cur
 		}

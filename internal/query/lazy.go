@@ -64,11 +64,18 @@ type lazyWitness struct {
 	swap    bool
 	memo    map[witnessKey]bool
 	scanned *int
+	exec    *execLocal // nil unless exec stats are enabled (see exec.go)
 }
 
-func newLazyWitness(ev *Evaluator, pl plan) *lazyWitness {
-	ops, swap := pl.execOps()
-	return &lazyWitness{ops: ops, swap: swap, memo: make(map[witnessKey]bool), scanned: &ev.postingsScanned}
+func newLazyWitness(pp *Prepared) *lazyWitness {
+	ops, swap := pp.ent.pl.execOps()
+	return &lazyWitness{
+		ops:     ops,
+		swap:    swap,
+		memo:    make(map[witnessKey]bool),
+		scanned: &pp.ev.postingsScanned,
+		exec:    newExecLocal(pp.ev.engine, pp.ent.exec),
+	}
 }
 
 // explains reports whether the plan connects start to end, walking the
@@ -93,24 +100,48 @@ func (lw *lazyWitness) reaches(bi int, v, end relation.Value) bool {
 		o := lw.ops[bi]
 		switch o.kind {
 		case opClose:
+			if lw.exec != nil {
+				lw.exec.rowsIn[bi]++
+				if v == end {
+					lw.exec.rowsOut[bi]++
+				}
+			}
 			return v == end
 		case opExists:
+			if lw.exec != nil {
+				lw.exec.rowsIn[bi]++
+			}
 			if _, ok := o.index[v]; !ok {
 				return false
+			}
+			if lw.exec != nil {
+				lw.exec.rowsOut[bi]++
 			}
 			bi++
 		default: // opBridge, opMap
 			key := witnessKey{bi: bi, v: v, end: end}
 			if res, ok := lw.memo[key]; ok {
+				if lw.exec != nil {
+					lw.exec.memoHits[bi]++
+				}
 				return res
+			}
+			if lw.exec != nil {
+				lw.exec.rowsIn[bi]++
 			}
 			res := false
 			for _, w := range o.pairs[v] {
 				*lw.scanned++
+				if lw.exec != nil {
+					lw.exec.postings[bi]++
+				}
 				if lw.reaches(bi+1, w, end) {
 					res = true
 					break
 				}
+			}
+			if res && lw.exec != nil {
+				lw.exec.rowsOut[bi]++
 			}
 			lw.memo[key] = res
 			return res
@@ -133,10 +164,16 @@ type lazyFeas struct {
 	ops     []op
 	memo    map[feasKey]bool
 	scanned *int
+	exec    *execLocal // nil unless exec stats are enabled (see exec.go)
 }
 
-func newLazyFeas(ev *Evaluator, pl plan) *lazyFeas {
-	return &lazyFeas{ops: pl.ops, memo: make(map[feasKey]bool), scanned: &ev.postingsScanned}
+func newLazyFeas(pp *Prepared) *lazyFeas {
+	return &lazyFeas{
+		ops:     pp.ent.pl.ops,
+		memo:    make(map[feasKey]bool),
+		scanned: &pp.ev.postingsScanned,
+		exec:    newExecLocal(pp.ev.engine, pp.ent.exec),
+	}
 }
 
 // completes reports whether v at boundary bi can satisfy the remaining
@@ -153,22 +190,40 @@ func (lf *lazyFeas) completes(bi int, v relation.Value) bool {
 		case opClose:
 			panic("query: lazy open evaluation reached opClose")
 		case opExists:
+			if lf.exec != nil {
+				lf.exec.rowsIn[bi]++
+			}
 			if _, ok := o.index[v]; !ok {
 				return false
+			}
+			if lf.exec != nil {
+				lf.exec.rowsOut[bi]++
 			}
 			bi++
 		default: // opBridge, opMap
 			key := feasKey{bi: bi, v: v}
 			if res, ok := lf.memo[key]; ok {
+				if lf.exec != nil {
+					lf.exec.memoHits[bi]++
+				}
 				return res
+			}
+			if lf.exec != nil {
+				lf.exec.rowsIn[bi]++
 			}
 			res := false
 			for _, w := range o.pairs[v] {
 				*lf.scanned++
+				if lf.exec != nil {
+					lf.exec.postings[bi]++
+				}
 				if lf.completes(bi+1, w) {
 					res = true
 					break
 				}
+			}
+			if res && lf.exec != nil {
+				lf.exec.rowsOut[bi]++
 			}
 			lf.memo[key] = res
 			return res

@@ -198,10 +198,10 @@ func TestSupportReusesFeasMemo(t *testing.T) {
 	pp := ev.Prepare(plannerOpenPath(t))
 	eng := ev.engine
 
-	base := eng.backwardPasses.Load()
+	base := eng.backwardPasses.Value()
 	s1 := pp.Support()
 	s2 := pp.Support()
-	if got := eng.backwardPasses.Load() - base; got != 2 {
+	if got := eng.backwardPasses.Value() - base; got != 2 {
 		t.Errorf("cold-memo Support ran %d backward passes over 2 calls, want 2 (call-local)", got)
 	}
 	if pp.ent.feasDone.Load() {
@@ -209,7 +209,7 @@ func TestSupportReusesFeasMemo(t *testing.T) {
 	}
 
 	rows := pp.ConnectedRows()
-	if got := eng.backwardPasses.Load() - base; got != 3 {
+	if got := eng.backwardPasses.Value() - base; got != 3 {
 		t.Errorf("ConnectedRows brought backward passes to %d, want 3", got)
 	}
 	if !pp.ent.feasDone.Load() {
@@ -218,7 +218,7 @@ func TestSupportReusesFeasMemo(t *testing.T) {
 
 	s3 := pp.Support()
 	s4 := pp.Support()
-	if got := eng.backwardPasses.Load() - base; got != 3 {
+	if got := eng.backwardPasses.Value() - base; got != 3 {
 		t.Errorf("warm-memo Support reran the backward pass (total %d, want 3)", got)
 	}
 

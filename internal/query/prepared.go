@@ -5,7 +5,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pathmodel"
 	"repro/internal/relation"
 )
@@ -51,6 +53,14 @@ func (ev *Evaluator) Prepare(p pathmodel.Path) *Prepared {
 	for {
 		ent := ev.engine.planEntry(key)
 		ent.compileOnce.Do(func() {
+			// Compile wall time feeds the query.plan.compile_nanos histogram,
+			// but only when observability is on — the disabled path never
+			// reads the clock.
+			var t0 time.Time
+			timed := obs.Enabled()
+			if timed {
+				t0 = time.Now()
+			}
 			pl := ev.compile(p)
 			if !ev.engine.plannerOff.Load() {
 				// Planner stage: prune and contract the declared-order chain
@@ -60,11 +70,18 @@ func (ev *Evaluator) Prepare(p pathmodel.Path) *Prepared {
 				pl = ev.planPlan(pl)
 			}
 			ent.pl = pl
+			// The per-op execution tally is sized here, once: the planner's
+			// end-side chain (when chosen) inverts pair-by-pair, so one array
+			// of len(ops) counters serves whichever chain execution walks.
+			ent.exec = &execStats{ops: make([]opExecCounters, len(pl.ops))}
 			ent.forward = p.Forward()
 			// Record the version of every table the compilation read. The
 			// table contract forbids concurrent appends, so these are the
 			// versions the snapshotted indexes and projections reflect.
 			ent.deps = ev.planDeps(p)
+			if timed {
+				ev.engine.compileNanos.Observe(time.Since(t0).Nanoseconds())
+			}
 		})
 		if ent.fresh() {
 			return &Prepared{ev: ev, path: p, ent: ent}
@@ -161,13 +178,14 @@ func (pp *Prepared) Support() int {
 			// Demand-driven satisfiability with a call-local memo: each
 			// boundary value the log reaches is expanded at most once, and
 			// nothing is pinned on the shared entry.
-			lf := newLazyFeas(pp.ev, pp.ent.pl)
+			lf := newLazyFeas(pp)
 			n := 0
 			for _, sv := range starts {
 				if lf.completes(0, sv) {
 					n++
 				}
 			}
+			lf.exec.flush()
 			return n
 		}
 		// Reuse the shared feasible-start memo when a ConnectedRange caller
@@ -191,13 +209,14 @@ func (pp *Prepared) Support() int {
 		return n
 	}
 	if lazy {
-		lw := newLazyWitness(pp.ev, pp.ent.pl)
+		lw := newLazyWitness(pp)
 		n := 0
 		for r, sv := range starts {
 			if lw.explains(sv, ends[r]) {
 				n++
 			}
 		}
+		lw.exec.flush()
 		return n
 	}
 	reach := make(map[relation.Value]valueSet)
@@ -239,21 +258,28 @@ func (pp *Prepared) ExplainedRange(lo, hi int) []bool {
 		// First-witness search per row with a call-local memo; the shared
 		// reach memo is neither consulted nor filled, so a range evaluation
 		// retains nothing on the engine once it returns.
-		lw := newLazyWitness(pp.ev, pp.ent.pl)
+		lw := newLazyWitness(pp)
 		for r := lo; r < hi; r++ {
 			out[r-lo] = lw.explains(starts[r], ends[r])
 		}
+		lw.exec.flush()
 		return out
 	}
+	el := newExecLocal(pp.ev.engine, pp.ent.exec)
 	for r := lo; r < hi; r++ {
 		sv := starts[r]
 		set, ok := pp.ent.reach.get(sv)
 		if !ok {
-			set = propagate(pp.ent.pl, sv)
+			set = propagateExec(pp.ent.pl, sv, el)
 			pp.ent.reach.put(sv, set)
+		} else if el != nil {
+			// A reach-memo hit skips the whole walk; charge it to the first
+			// op, where the walk would have started.
+			el.memoHits[0]++
 		}
 		out[r-lo] = set.has(ends[r])
 	}
+	el.flush()
 	return out
 }
 
@@ -277,10 +303,11 @@ func (pp *Prepared) ConnectedRange(lo, hi int) []bool {
 	starts, _ := pp.orient()
 	out := make([]bool, hi-lo)
 	if pp.ev.engine.lazyEval() {
-		lf := newLazyFeas(pp.ev, pp.ent.pl)
+		lf := newLazyFeas(pp)
 		for r := lo; r < hi; r++ {
 			out[r-lo] = lf.completes(0, starts[r])
 		}
+		lf.exec.flush()
 		return out
 	}
 	f := pp.feasible()
@@ -305,6 +332,11 @@ type cachedPlan struct {
 	compileOnce sync.Once
 	pl          plan
 	forward     bool
+
+	// exec is the plan's per-op execution tally (see exec.go), allocated
+	// inside compileOnce so every cursor evaluating the plan shares one
+	// array. It accumulates only while SetExecStats(true).
+	exec *execStats
 
 	// deps records, per table the compilation read, the table's version at
 	// compile time (written inside compileOnce, so visible to every
@@ -401,7 +433,7 @@ func (eng *engine) planEntry(key string) *cachedPlan {
 		return ent
 	}
 	eng.planMisses.Add(1)
-	ent := &cachedPlan{reach: newReachCache(int(eng.reachCap.Load()), &eng.reachEvictions)}
+	ent := &cachedPlan{reach: newReachCache(int(eng.reachCap.Load()), eng.reachEvictions)}
 	eng.plans[key] = ent
 	return ent
 }
@@ -455,6 +487,14 @@ type PlanCacheStats struct {
 	// SetReachMemoCap.
 	ReachCap int
 
+	// ReachCapMin and ReachCapMax bound the per-engine caps folded into an
+	// aggregate snapshot; a single engine reports its own cap in both. They
+	// recover the range the -1 "mixed" ReachCap sentinel discards, so a
+	// federated display can still say what the shards are configured with.
+	// Aggregate with Add starting from a real snapshot, not the zero value —
+	// a zero-valued term would fold a spurious 0 into the min.
+	ReachCapMin, ReachCapMax int
+
 	// Planner aggregates (see planner.go): plans run through the planner
 	// stage, greedy hop contractions applied, pairs dropped by
 	// backward-feasible pruning, closed plans for which end-side
@@ -488,6 +528,8 @@ func (s PlanCacheStats) Add(o PlanCacheStats) PlanCacheStats {
 		ReachEvictions:   s.ReachEvictions + o.ReachEvictions,
 		ReachEntries:     s.ReachEntries + o.ReachEntries,
 		ReachCap:         s.ReachCap,
+		ReachCapMin:      min(s.ReachCapMin, o.ReachCapMin),
+		ReachCapMax:      max(s.ReachCapMax, o.ReachCapMax),
 		PlansPlanned:     s.PlansPlanned + o.PlansPlanned,
 		PlanContractions: s.PlanContractions + o.PlanContractions,
 		PlanPairsPruned:  s.PlanPairsPruned + o.PlanPairsPruned,
@@ -508,16 +550,19 @@ func (s PlanCacheStats) Add(o PlanCacheStats) PlanCacheStats {
 // cursor counts here.
 func (ev *Evaluator) PlanCacheStats() PlanCacheStats {
 	eng := ev.engine
+	cap := int(eng.reachCap.Load())
 	st := PlanCacheStats{
-		Hits:             eng.planHits.Load(),
-		Misses:           eng.planMisses.Load(),
-		ReachEvictions:   eng.reachEvictions.Load(),
-		ReachCap:         int(eng.reachCap.Load()),
-		PlansPlanned:     eng.plansPlanned.Load(),
-		PlanContractions: eng.planContractions.Load(),
-		PlanPairsPruned:  eng.planPairsPruned.Load(),
-		PlanEndSide:      eng.planEndSide.Load(),
-		PlanNanos:        eng.planNanos.Load(),
+		Hits:             eng.planHits.Value(),
+		Misses:           eng.planMisses.Value(),
+		ReachEvictions:   eng.reachEvictions.Value(),
+		ReachCap:         cap,
+		ReachCapMin:      cap,
+		ReachCapMax:      cap,
+		PlansPlanned:     eng.plansPlanned.Value(),
+		PlanContractions: eng.planContractions.Value(),
+		PlanPairsPruned:  eng.planPairsPruned.Value(),
+		PlanEndSide:      eng.planEndSide.Value(),
+		PlanNanos:        eng.planNanos.Value(),
 	}
 	eng.planMu.RLock()
 	for _, ent := range eng.plans {

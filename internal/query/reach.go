@@ -2,8 +2,8 @@ package query
 
 import (
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -24,7 +24,7 @@ const reachShardCount = 8
 // the differential tests run the cached and evicted paths against each
 // other.
 type reachCache struct {
-	evictions *atomic.Int64 // engine-wide eviction counter, shared by all plans
+	evictions *obs.Counter // engine-wide eviction counter, shared by all plans
 	shards    [reachShardCount]reachShard
 }
 
@@ -47,7 +47,7 @@ type reachEntry struct {
 // newReachCache builds a memo capped at roughly bound entries across all
 // shards (bound <= 0 means unbounded), charging evictions to the given
 // engine-wide counter.
-func newReachCache(bound int, evictions *atomic.Int64) *reachCache {
+func newReachCache(bound int, evictions *obs.Counter) *reachCache {
 	c := &reachCache{evictions: evictions}
 	for i := range c.shards {
 		c.shards[i].cap = perShardCap(bound)

@@ -193,18 +193,23 @@ func writeSegment(path string, t *relation.Table) error {
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
+	total := int64(len(segMagic))
 	if _, err := bw.WriteString(segMagic); err != nil {
 		f.Close()
 		return err
 	}
 	hdr := segmentHeader{columns: t.Columns(), kinds: inferKinds(t)}
-	if _, err := bw.Write(appendRecord(nil, encodeHeader(hdr))); err != nil {
+	rec := appendRecord(nil, encodeHeader(hdr))
+	total += int64(len(rec))
+	if _, err := bw.Write(rec); err != nil {
 		f.Close()
 		return err
 	}
 	for lo := 0; lo < t.NumRows(); lo += segBatchRows {
 		hi := min(lo+segBatchRows, t.NumRows())
-		if _, err := bw.Write(appendRecord(nil, encodeRowBatch(t, lo, hi))); err != nil {
+		rec = appendRecord(rec[:0], encodeRowBatch(t, lo, hi))
+		total += int64(len(rec))
+		if _, err := bw.Write(rec); err != nil {
 			f.Close()
 			return err
 		}
@@ -213,6 +218,7 @@ func writeSegment(path string, t *relation.Table) error {
 		f.Close()
 		return err
 	}
+	bytesWritten.Add(total)
 	return f.Close()
 }
 
@@ -346,7 +352,13 @@ func openSegScanner(path string) (sc *segScanner, err error) {
 	return sc, nil
 }
 
-func (sc *segScanner) close() { sc.f.Close() }
+// close releases the segment file and charges the checksum-valid bytes the
+// scan consumed to store.bytes_read (every scanner — Open's loads and
+// ScanBatches exports alike — funnels through here exactly once).
+func (sc *segScanner) close() {
+	bytesRead.Add(sc.validEnd)
+	sc.f.Close()
+}
 
 // next decodes the next data record into a fresh row batch, returning ok =
 // false — never an error — at the first torn, truncated, or corrupt record,

@@ -6,7 +6,9 @@ import (
 	"iter"
 	"os"
 	"path/filepath"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -141,6 +143,7 @@ func Open(dir string) (*Store, *relation.Database, error) {
 			if err := os.Truncate(s.segPath(mt.Name), res.validEnd); err != nil {
 				return nil, nil, fmt.Errorf("store: truncating torn tail of %s: %w", mt.Name, err)
 			}
+			recoveries.Add(1)
 			dirty = true
 		}
 		if mt.Rows != res.table.NumRows() {
@@ -224,14 +227,25 @@ func (s *Store) AppendRows(table string, rows [][]relation.Value) error {
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(appendRecord(nil, encodeRows(rows))); err != nil {
+	rec := appendRecord(nil, encodeRows(rows))
+	if _, err := f.Write(rec); err != nil {
 		f.Close()
 		return err
+	}
+	bytesWritten.Add(int64(len(rec)))
+	timed := obs.Enabled()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}
+	if timed {
+		syncNanos.Observe(time.Since(t0).Nanoseconds())
+	}
+	appends.Add(1)
 	if err := f.Close(); err != nil {
 		return err
 	}
@@ -286,6 +300,7 @@ func (s *Store) writeManifest() error {
 	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
+	bytesWritten.Add(int64(len(data) + 1))
 	return os.Rename(tmp, filepath.Join(s.dir, ManifestName))
 }
 
