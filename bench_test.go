@@ -24,6 +24,7 @@ import (
 	"repro/internal/ehr"
 	"repro/internal/experiments"
 	"repro/internal/explain"
+	"repro/internal/fault"
 	"repro/internal/federate"
 	"repro/internal/groups"
 	"repro/internal/metrics"
@@ -588,6 +589,54 @@ func BenchmarkFederatedStream(b *testing.B) {
 		worst = 0
 	}
 	b.ReportMetric(worst, "live-B")
+}
+
+// BenchmarkFaultOverhead pins the cost of carrying fault-injection seams in
+// the hot paths. single-disabled mirrors BenchmarkStreamReports and
+// federated-disabled mirrors BenchmarkFederatedStream with the registry in
+// its default disabled state, so comparing each against its twin measures
+// the seams' overhead — one atomic load per guard, which must stay within
+// noise (~2%). federated-armed keeps the registry enabled with a rule that
+// matches no engine site, timing the rule-scan path the per-row seam takes
+// once any injector is installed.
+func BenchmarkFaultOverhead(b *testing.B) {
+	ctx := context.Background()
+	drive := func(b *testing.B, stream func(fn func(core.AccessReport) error) error) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			texts := 0
+			if err := stream(func(rep core.AccessReport) error {
+				texts += len(rep.Explanations)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if texts == 0 {
+				b.Fatal("no explanations streamed")
+			}
+		}
+	}
+	b.Run("single-disabled", func(b *testing.B) {
+		a := mediumAuditor(b)
+		drive(b, func(fn func(core.AccessReport) error) error {
+			return a.StreamReports(ctx, 8, fn)
+		})
+	})
+	b.Run("federated-disabled", func(b *testing.B) {
+		f := mediumFederation(b)
+		drive(b, func(fn func(core.AccessReport) error) error {
+			return f.StreamReports(ctx, 8, fn)
+		})
+	})
+	b.Run("federated-armed", func(b *testing.B) {
+		f := mediumFederation(b)
+		fault.Install(fault.Rule{Site: "bench.nowhere"})
+		b.Cleanup(fault.Reset)
+		drive(b, func(fn func(core.AccessReport) error) error {
+			return f.StreamReports(ctx, 8, fn)
+		})
+	})
 }
 
 // --- micro-benchmarks -----------------------------------------------------

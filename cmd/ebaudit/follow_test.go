@@ -168,7 +168,7 @@ func TestFollowTornRow(t *testing.T) {
 	if got.String() != want.String() {
 		t.Errorf("follow NDJSON differs from one-shot stream (%d vs %d bytes)", got.Len(), want.Len())
 	}
-	if strings.Contains(gotErr.String(), "follow poll:") {
+	if strings.Contains(gotErr.String(), "follow poll") {
 		t.Errorf("torn tail surfaced as a poll error:\n%s", gotErr.String())
 	}
 }

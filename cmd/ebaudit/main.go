@@ -69,6 +69,21 @@
 // the database is discarded, never partially trusted. A comma-separated
 // -store list federates one store per shard, pairing with -data by
 // position when migration is needed.
+//
+// Resilience: the top-level -faults flag arms deterministic chaos
+// injectors (comma-separated SITE:KIND[:COUNT[:AFTER]] entries; kinds
+// error, flaky, delay=DUR, hang, panic) at the engine's named seams before
+// anything runs, so store opens and shard calls can be failed on a precise,
+// replayable schedule. Federated audits take -retries N (per-shard-call
+// retry budget with capped-jittered-exponential backoff), -call-timeout D
+// (per-attempt deadline; expiry is retryable, which turns hung shards into
+// retries), and -degraded, which trades strict fail-fast exactness for
+// partial results over the surviving shards — announced on stderr and, in
+// -stream mode, recorded in a final NDJSON trailer object
+// {"degraded":{...}} so downstream consumers can tell a partial stream
+// from a complete one. audit -follow -grace D bounds how long transient
+// -data poll failures (a file renamed away mid-rotation) are retried with
+// backoff before the session ends with the underlying error.
 package main
 
 import (
@@ -90,6 +105,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ehr"
 	"repro/internal/explain"
+	"repro/internal/fault"
 	"repro/internal/federate"
 	"repro/internal/groups"
 	"repro/internal/mine"
@@ -129,6 +145,7 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 	dataDir := fs.String("data", "", "load tables from a directory of typed CSVs (see 'ebaudit export') instead of generating; a comma-separated list federates one shard per directory")
 	storeDir := fs.String("store", "", "open (or create from -data / the generated dataset) a binary segment store; restarts resume warm from its snapshot; a comma-separated list federates one shard per store")
 	metricsAddr := fs.String("metrics-addr", "", "serve live observability on this address for the life of the process: /metrics (Prometheus text), /debug/vars (JSON), /debug/pprof/*")
+	faultSpec := fs.String("faults", "", "arm deterministic fault injectors: comma-separated SITE:KIND[:COUNT[:AFTER]] entries with KIND error|flaky|delay=DUR|hang|panic; SITE may end in * (chaos testing; see internal/fault)")
 	if err := fs.Parse(argv); err != nil {
 		return errUsage
 	}
@@ -143,6 +160,11 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 	}
 	if *parallelism < 1 {
 		return fmt.Errorf("-j must be at least 1, got %d", *parallelism)
+	}
+	// Arm injectors before the app is built so store/open and load seams are
+	// already covered; the registry is process-wide, like obs.Default.
+	if err := installFaults(*faultSpec, *seed); err != nil {
+		return err
 	}
 
 	splitDirs := func(flagName, v string) ([]string, error) {
@@ -248,8 +270,10 @@ func run(argv []string, stdout, stderr io.Writer) (err error) {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR[,DIR...]] [-store DIR[,DIR...]] [-metrics-addr ADDR] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
-	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals + metrics dump), -stream (NDJSON reports in log order, bounded memory), -shards K (federated shard-parallel audit), -follow (poll -data for appended rows, incremental refresh; with -poll D, -follow-rows N), -trace FILE (NDJSON observability spans), -explain (per-template plan + per-op execution report)")
+	fmt.Fprintln(w, "usage: ebaudit [-scale S] [-seed N] [-j W] [-data DIR[,DIR...]] [-store DIR[,DIR...]] [-metrics-addr ADDR] [-faults SPEC] <summary|patient|audit|mine|unexplained|groups|templates|export> [args]")
+	fmt.Fprintln(w, "  audit flags: -n N (unexplained sample size), -v (engine internals + metrics dump), -stream (NDJSON reports in log order, bounded memory), -shards K (federated shard-parallel audit), -follow (poll -data for appended rows, incremental refresh; with -poll D, -follow-rows N, -grace D), -trace FILE (NDJSON observability spans), -explain (per-template plan + per-op execution report)")
+	fmt.Fprintln(w, "  audit resilience (federated): -retries N (per-shard-call retry budget), -call-timeout D (per-attempt deadline), -degraded (partial results over surviving shards, with stderr note + NDJSON trailer in -stream mode)")
+	fmt.Fprintln(w, "  -faults arms deterministic chaos injectors: SITE:KIND[:COUNT[:AFTER]],... with KIND error|flaky|delay=DUR|hang|panic")
 	fmt.Fprintln(w, "  export flags: -dir DIR, -format csv|store")
 	fmt.Fprintln(w, "  -metrics-addr serves /metrics (Prometheus), /debug/vars (JSON), /debug/pprof for the life of the process")
 }
@@ -703,17 +727,33 @@ func (a *app) audit(args []string) error {
 	followRows := fs.Int("follow-rows", 0, "follow mode: exit once this many rows have been audited (0 = run until interrupted)")
 	tracePath := fs.String("trace", "", "write the audit's observability spans to FILE as NDJSON (one span per line)")
 	explainPlans := fs.Bool("explain", false, "after auditing, print each template's plan decisions and per-op execution counters (single engine only)")
+	degraded := fs.Bool("degraded", false, "federated audits: return partial results over surviving shards when a shard is down, with a stderr note and (in -stream mode) an NDJSON trailer recording what is missing; default strict mode fails fast")
+	retries := fs.Int("retries", 0, "federated audits: per-shard-call retry budget beyond the first attempt (capped-jittered-exponential backoff between attempts)")
+	callTimeout := fs.Duration("call-timeout", 0, "federated audits: deadline per shard-call attempt (0 = none); expiry counts as a retryable failure")
+	grace := fs.Duration("grace", 30*time.Second, "follow mode: keep retrying failed -data polls with backoff for this window before giving up")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *retries < 0 {
+		return fmt.Errorf("audit -retries must be >= 0, got %d", *retries)
+	}
+	if *callTimeout < 0 {
+		return fmt.Errorf("audit -call-timeout must be >= 0, got %v", *callTimeout)
+	}
+	if *grace <= 0 {
+		return fmt.Errorf("audit -grace must be positive, got %v", *grace)
 	}
 	// run() validates -j >= 1, so the worker count is always concrete here.
 	workers := a.parallelism
 
 	fed := a.fed
-	shardsSet := false
+	shardsSet, resilienceSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "shards" {
+		switch f.Name {
+		case "shards":
 			shardsSet = true
+		case "degraded", "retries", "call-timeout":
+			resilienceSet = true
 		}
 	})
 	if shardsSet {
@@ -727,6 +767,16 @@ func (a *app) audit(args []string) error {
 		if fed, err = a.federation(*shards); err != nil {
 			return err
 		}
+	}
+	if resilienceSet && fed == nil {
+		return errors.New("audit -degraded/-retries/-call-timeout require a federated audit (-shards K, or a multi-directory -data/-store list)")
+	}
+	if fed != nil {
+		pol := fed.Policy()
+		pol.CallTimeout = *callTimeout
+		pol.Retry.MaxAttempts = *retries + 1
+		fed.SetPolicy(pol)
+		fed.SetDegradedMode(*degraded)
 	}
 
 	if *explainPlans {
@@ -746,7 +796,7 @@ func (a *app) audit(args []string) error {
 		}
 	}
 
-	err := a.runAudit(fed, workers, n, verbose, stream, follow, poll, followRows)
+	err := a.runAudit(fed, workers, n, verbose, stream, follow, poll, followRows, *grace)
 
 	// Post-run observability surfacing, on every audit mode's exit path: the
 	// span drain (even after a failed run — partial traces are exactly what
@@ -780,7 +830,7 @@ func (a *app) audit(args []string) error {
 // runAudit dispatches the parsed audit flags to the follow, stream, or
 // materialized mode; audit wraps it so post-run observability surfacing
 // happens on every path.
-func (a *app) runAudit(fed *federate.Federation, workers int, n *int, verbose, stream, follow *bool, poll *time.Duration, followRows *int) error {
+func (a *app) runAudit(fed *federate.Federation, workers int, n *int, verbose, stream, follow *bool, poll *time.Duration, followRows *int, grace time.Duration) error {
 	if *follow {
 		if *stream {
 			return errors.New("audit -follow already streams NDJSON; drop -stream")
@@ -794,7 +844,7 @@ func (a *app) runAudit(fed *federate.Federation, workers int, n *int, verbose, s
 		if *poll <= 0 {
 			return fmt.Errorf("audit -poll must be positive, got %v", *poll)
 		}
-		return a.auditFollow(workers, *poll, *followRows, *verbose)
+		return a.auditFollow(workers, *poll, grace, *followRows, *verbose)
 	}
 
 	if *stream {
@@ -807,7 +857,16 @@ func (a *app) runAudit(fed *federate.Federation, workers int, n *int, verbose, s
 	start := time.Now()
 	var reports []core.AccessReport
 	if fed != nil {
-		reports = fed.ExplainAll(context.Background(), workers)
+		// Materialize via the streaming surface rather than ExplainAll: the
+		// two emit identical reports, but this one returns the error, so a
+		// strict-mode shard failure is an exit-1 diagnosis instead of a
+		// silent zero-report audit.
+		if err := fed.StreamReports(context.Background(), workers, func(rep core.AccessReport) error {
+			reports = append(reports, rep)
+			return nil
+		}); err != nil {
+			return err
+		}
 	} else {
 		reports = a.auditor.ExplainAll(context.Background(), workers)
 	}
@@ -851,7 +910,7 @@ func (a *app) runAudit(fed *federate.Federation, workers int, n *int, verbose, s
 	if fed == nil {
 		return a.saveWarmState()
 	}
-	return nil
+	return a.reportDegraded(fed, false)
 }
 
 // auditStreamFederated is the NDJSON mode of a federated audit: the shard
@@ -871,7 +930,7 @@ func (a *app) auditStreamFederated(fed *federate.Federation, workers int, verbos
 	if verbose {
 		a.printFederatedStats(a.stderr, fed)
 	}
-	return nil
+	return a.reportDegraded(fed, true)
 }
 
 // printFederatedStats reports the aggregated plan-cache counters plus one
@@ -961,11 +1020,14 @@ func (a *app) printEngineStats(w io.Writer, workers int) {
 // over the final log, which the CLI differential test pins down. A torn
 // final CSV row (a writer caught mid-append) is not an error: rows become
 // visible only once newline-terminated, so the poll simply picks the row
-// up when it is complete (see appendNewLogRows). Genuine poll errors are
-// reported to stderr and retried on the next tick; a log that shrank or
-// changed layout is also a retried error, because follow mode is defined
-// only for append-only growth.
-func (a *app) auditFollow(workers int, poll time.Duration, stopRows int, verbose bool) error {
+// up when it is complete (see appendNewLogRows). Genuine poll errors —
+// the data file renamed away mid-rotation, a transient read failure — are
+// retried with capped-jittered-exponential backoff for the grace window: a
+// fault that heals within it costs nothing but stderr noise, one that
+// persists past it ends the session with the underlying error. A log that
+// shrank or changed layout is handled the same way, because follow mode is
+// defined only for append-only growth.
+func (a *app) auditFollow(workers int, poll, grace time.Duration, stopRows int, verbose bool) error {
 	log := a.db.MustTable(pathmodel.LogTable)
 	ctx := context.Background()
 	bw := bufio.NewWriter(a.stdout)
@@ -998,13 +1060,31 @@ func (a *app) auditFollow(workers int, poll time.Duration, stopRows int, verbose
 	}
 
 	var lastStat os.FileInfo
+	var errSince time.Time
+	// Failed polls retry on a backoff ramp starting at the poll interval;
+	// healthy polls keep the plain cadence.
+	retryBo := &fault.Backoff{Base: poll, Cap: 8 * poll}
 	for stopRows <= 0 || audited < stopRows {
-		time.Sleep(poll)
+		if errSince.IsZero() {
+			time.Sleep(poll)
+		} else {
+			time.Sleep(retryBo.Next())
+		}
 		added, stat, err := a.appendNewLogRows(log, lastStat)
 		if err != nil {
-			fmt.Fprintf(a.stderr, "ebaudit: follow poll: %v\n", err)
+			now := time.Now()
+			if errSince.IsZero() {
+				errSince = now
+				retryBo.Reset()
+			}
+			if elapsed := now.Sub(errSince); elapsed >= grace {
+				return fmt.Errorf("follow poll failing for %v (grace %v): %w",
+					elapsed.Round(time.Millisecond), grace, err)
+			}
+			fmt.Fprintf(a.stderr, "ebaudit: follow poll (retrying within %v grace): %v\n", grace, err)
 			continue
 		}
+		errSince = time.Time{}
 		lastStat = stat
 		if added == 0 {
 			continue

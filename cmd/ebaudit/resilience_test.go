@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// countLogRows returns the number of data rows in dir's Log.csv.
+func countLogRows(t *testing.T, dir string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "Log.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return len(lines) - 1 // minus header
+}
+
+// TestCLIFaultsRetryByteIdentical is the CLI chaos differential: a
+// federated audit -stream whose shard stream seam fails transiently, run
+// with a -retries budget, must emit NDJSON byte-identical to the unfaulted
+// single-engine stream — the resume-skip retry leaves no duplicates and no
+// holes.
+func TestCLIFaultsRetryByteIdentical(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", dir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var want, wantErr bytes.Buffer
+	if err := run([]string{"-data", dir, "audit", "-stream"}, &want, &wantErr); err != nil {
+		t.Fatalf("reference stream: %v\nstderr: %s", err, wantErr.String())
+	}
+	dirA, dirB := splitExportedLog(t, dir, 0.4)
+
+	var got, gotErr bytes.Buffer
+	err := run([]string{"-data", dirA + "," + dirB,
+		"-faults", "federate.west.stream:flaky:2",
+		"audit", "-stream", "-retries", "3"}, &got, &gotErr)
+	if err != nil {
+		t.Fatalf("faulted federated stream: %v\nstderr: %s", err, gotErr.String())
+	}
+	if got.String() != want.String() {
+		t.Errorf("faulted+retried stream differs from the single-engine stream (%d vs %d bytes)",
+			got.Len(), want.Len())
+	}
+	if fault.Default.Injected() == 0 {
+		t.Error("no faults fired; the differential proved nothing")
+	}
+}
+
+// TestCLIDegradedStream pins the degraded-mode CLI contract: with one shard
+// permanently down, audit -stream -degraded exits 0 and emits exactly the
+// surviving shard's reports — a byte-prefix of the single-engine stream,
+// because the log was split at a time cut — followed by the machine-readable
+// NDJSON trailer, with a DEGRADED note on stderr. Without -degraded the same
+// fault is a strict-mode failure with nonzero exit.
+func TestCLIDegradedStream(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", dir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var want, wantErr bytes.Buffer
+	if err := run([]string{"-data", dir, "audit", "-stream"}, &want, &wantErr); err != nil {
+		t.Fatalf("reference stream: %v\nstderr: %s", err, wantErr.String())
+	}
+	dirA, dirB := splitExportedLog(t, dir, 0.4)
+	rowsA, rowsB := countLogRows(t, dirA), countLogRows(t, dirB)
+
+	// Strict mode first: the permanent fault must abort the audit.
+	var strictOut, strictErr bytes.Buffer
+	err := run([]string{"-data", dirA + "," + dirB,
+		"-faults", "federate.west.*:error",
+		"audit", "-stream"}, &strictOut, &strictErr)
+	if err == nil || !strings.Contains(err.Error(), "shard down") {
+		t.Fatalf("strict mode with a downed shard: err = %v, want shard-down failure", err)
+	}
+	fault.Reset()
+
+	// Degraded mode: the surviving east shard's reports plus the trailer.
+	var got, gotErr bytes.Buffer
+	err = run([]string{"-data", dirA + "," + dirB,
+		"-faults", "federate.west.*:error",
+		"audit", "-stream", "-degraded"}, &got, &gotErr)
+	if err != nil {
+		t.Fatalf("degraded federated stream: %v\nstderr: %s", err, gotErr.String())
+	}
+	wantLines := strings.SplitAfter(want.String(), "\n")
+	if wantLines[len(wantLines)-1] == "" {
+		wantLines = wantLines[:len(wantLines)-1]
+	}
+	if len(wantLines) != rowsA+rowsB {
+		t.Fatalf("reference stream has %d lines, want %d", len(wantLines), rowsA+rowsB)
+	}
+	trailer := fmt.Sprintf("{\"degraded\":{\"missingShards\":[\"west\"],\"rowsSkipped\":%d}}\n", rowsB)
+	wantDeg := strings.Join(wantLines[:rowsA], "") + trailer
+	if got.String() != wantDeg {
+		t.Errorf("degraded stream != surviving-shard prefix + trailer (%d vs %d bytes)",
+			got.Len(), len(wantDeg))
+	}
+	if !strings.Contains(gotErr.String(), "DEGRADED result: missing shards [west]") {
+		t.Errorf("stderr missing the degraded note:\n%s", gotErr.String())
+	}
+
+	// The materialized mode surfaces the same note without a trailer on
+	// stdout (stdout is the human report there).
+	fault.Reset()
+	var matOut, matErr bytes.Buffer
+	err = run([]string{"-data", dirA + "," + dirB,
+		"-faults", "federate.west.*:error",
+		"audit", "-degraded"}, &matOut, &matErr)
+	if err != nil {
+		t.Fatalf("degraded materialized audit: %v\nstderr: %s", err, matErr.String())
+	}
+	if !strings.Contains(matOut.String(), fmt.Sprintf("federated batch-audited %d accesses", rowsA)) {
+		t.Errorf("materialized degraded audit did not report %d surviving accesses:\n%s", rowsA, matOut.String())
+	}
+	if !strings.Contains(matErr.String(), "DEGRADED result") {
+		t.Errorf("materialized stderr missing the degraded note:\n%s", matErr.String())
+	}
+	if strings.Contains(matOut.String(), "\"degraded\"") {
+		t.Error("materialized mode must not emit the NDJSON trailer")
+	}
+}
+
+// TestCLIResilienceValidation pins the flag surface: resilience flags
+// require a federation, bounds are checked, and malformed -faults specs are
+// rejected with pointable diagnostics.
+func TestCLIResilienceValidation(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"export", "-dir", dir}, &buf, &buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	cases := []struct {
+		argv []string
+		want string
+	}{
+		{[]string{"-data", dir, "audit", "-degraded"}, "require a federated audit"},
+		{[]string{"-data", dir, "audit", "-retries", "2"}, "require a federated audit"},
+		{[]string{"-data", dir, "audit", "-call-timeout", "1s"}, "require a federated audit"},
+		{[]string{"audit", "-retries", "-1"}, "-retries must be >= 0"},
+		{[]string{"audit", "-call-timeout", "-1s"}, "-call-timeout must be >= 0"},
+		{[]string{"audit", "-grace", "0s"}, "-grace must be positive"},
+		{[]string{"-faults", "noseam", "summary"}, "want SITE:KIND"},
+		{[]string{"-faults", "a.b:bogus", "summary"}, "unknown kind"},
+		{[]string{"-faults", "a.b:delay=xyz", "summary"}, "bad delay"},
+		{[]string{"-faults", "a.b:error:x", "summary"}, "bad count"},
+		{[]string{"-faults", "a.b:error:1:y", "summary"}, "bad after"},
+		{[]string{"-faults", ":error", "summary"}, "empty site"},
+		{[]string{"-faults", "a.b:error,", "summary"}, "empty entry"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(tc.argv, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) error = %v, want containing %q", tc.argv, err, tc.want)
+		}
+		fault.Reset()
+	}
+}
+
+// TestFollowGraceRecovers pins satellite behavior for follow mode: the
+// -data file renamed away mid-session (a log rotation caught at the wrong
+// moment) produces transient poll errors that are retried with backoff
+// inside the grace window, and once the file returns — grown to the full
+// log — the session recovers and the concatenated NDJSON is byte-identical
+// to a one-shot stream over the final log.
+func TestFollowGraceRecovers(t *testing.T) {
+	exportDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", exportDir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var want, wantErr bytes.Buffer
+	if err := run([]string{"-data", exportDir, "audit", "-stream"}, &want, &wantErr); err != nil {
+		t.Fatalf("audit -stream: %v\nstderr: %s", err, wantErr.String())
+	}
+
+	dir, fullLog, total := truncatedExport(t, exportDir, 0.9)
+	logPath := filepath.Join(dir, "Log.csv")
+	awayPath := logPath + ".away"
+
+	// The outage is sequenced off follow's own stderr, not wall-clock
+	// sleeps: rename the log away once the catch-up banner confirms polling
+	// has started, and bring it back (grown to the full log) only after a
+	// retried poll error proves the outage was observed.
+	followCh := make(chan struct{})
+	retryCh := make(chan struct{})
+	gotErr := &markerWriter{markers: map[string]chan struct{}{
+		"following ":      followCh,
+		"retrying within": retryCh,
+	}}
+	go func() {
+		<-followCh
+		if err := os.Rename(logPath, awayPath); err != nil {
+			t.Errorf("renaming log away: %v", err)
+			return
+		}
+		<-retryCh
+		tmp := filepath.Join(dir, ".Log.csv.tmp")
+		if err := os.WriteFile(tmp, fullLog, 0o644); err != nil {
+			t.Errorf("writing grown log: %v", err)
+			return
+		}
+		if err := os.Rename(tmp, logPath); err != nil {
+			t.Errorf("renaming grown log back: %v", err)
+		}
+	}()
+
+	var got bytes.Buffer
+	err := run([]string{"-data", dir, "audit", "-follow",
+		"-poll", "5ms", "-grace", "10s", "-follow-rows", fmt.Sprint(total)}, &got, gotErr)
+	if err != nil {
+		t.Fatalf("audit -follow: %v\nstderr: %s", err, gotErr.String())
+	}
+	if got.String() != want.String() {
+		t.Errorf("follow NDJSON differs from one-shot stream (%d vs %d bytes)", got.Len(), want.Len())
+	}
+	if !strings.Contains(gotErr.String(), "retrying within") {
+		t.Errorf("stderr shows no retried poll errors — the outage window was never observed:\n%s", gotErr.String())
+	}
+}
+
+// markerWriter is a threadsafe stderr sink that closes a marker's channel
+// the first time the accumulated output contains its substring — how the
+// grace tests sequence filesystem outages against follow's progress without
+// sleeps.
+type markerWriter struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	markers map[string]chan struct{}
+}
+
+func (w *markerWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for s, ch := range w.markers {
+		select {
+		case <-ch:
+		default:
+			if bytes.Contains(w.buf.Bytes(), []byte(s)) {
+				close(ch)
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *markerWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestFollowGraceExpires is the bound on the bound: a poll failure that
+// never heals must end the session with the underlying error once the grace
+// window is spent, not retry forever.
+func TestFollowGraceExpires(t *testing.T) {
+	exportDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"export", "-dir", exportDir}, &stdout, &stderr); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	dir, _, total := truncatedExport(t, exportDir, 0.9)
+	logPath := filepath.Join(dir, "Log.csv")
+
+	followCh := make(chan struct{})
+	gotErr := &markerWriter{markers: map[string]chan struct{}{"following ": followCh}}
+	go func() {
+		<-followCh
+		if err := os.Rename(logPath, logPath+".gone"); err != nil {
+			t.Errorf("renaming log away: %v", err)
+		}
+	}()
+
+	var got bytes.Buffer
+	start := time.Now()
+	err := run([]string{"-data", dir, "audit", "-follow",
+		"-poll", "5ms", "-grace", "75ms", "-follow-rows", fmt.Sprint(total)}, &got, gotErr)
+	if err == nil || !strings.Contains(err.Error(), "follow poll failing") {
+		t.Fatalf("follow with a permanent outage: err = %v, want grace-window failure", err)
+	}
+	if !strings.Contains(err.Error(), "grace 75ms") {
+		t.Errorf("error does not name the grace window: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("follow took %v to give up on a 75ms grace window", elapsed)
+	}
+}

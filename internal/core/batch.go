@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/explain"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -109,6 +110,13 @@ type maskTask struct {
 // may duplicate work for a mask both find stale, but they converge on
 // identical values, so the cache stays consistent.
 func (a *Auditor) ensureMasks(ctx context.Context, parallelism int) ([]*bitset.Bits, error) {
+	// Chaos seam: lets the fault framework fail, stall, or hang mask
+	// computation as a whole, the way a sick shard's evaluator would.
+	if fault.Enabled() {
+		if err := fault.InjectCtx(ctx, "core.mask.ensure"); err != nil {
+			return nil, err
+		}
+	}
 	n := a.ev.Log().NumRows()
 	hist := a.histVersion()
 	a.mu.Lock()
@@ -221,16 +229,15 @@ func (a *Auditor) ExplainAll(ctx context.Context, parallelism int) []AccessRepor
 	return out
 }
 
-// UnexplainedAccessesParallel is the concurrent counterpart of
-// UnexplainedAccesses: the template masks are computed (or extended) with a
-// worker pool, ORed word-at-a-time into one packed union, and the zero bits
-// collected — a popcount-speed scan, no per-row template loop. The returned
-// row indexes are in ascending order, identical to the sequential result.
-// It returns nil if ctx is cancelled first.
-func (a *Auditor) UnexplainedAccessesParallel(ctx context.Context, parallelism int) []int {
+// UnexplainedRows is UnexplainedAccessesParallel with the failure
+// surfaced: resilience layers need to distinguish "no unexplained rows"
+// from "the masks could not be computed", which the nil-on-error
+// convenience wrapper below cannot express. The returned row indexes are
+// in ascending order, identical to the sequential result.
+func (a *Auditor) UnexplainedRows(ctx context.Context, parallelism int) ([]int, error) {
 	masks, err := a.ensureMasks(ctx, parallelism)
 	if err != nil {
-		return nil
+		return nil, err
 	}
 	union := metrics.UnionBits(masks...)
 	n := a.ev.Log().NumRows()
@@ -240,7 +247,22 @@ func (a *Auditor) UnexplainedAccessesParallel(ctx context.Context, parallelism i
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, nil
+}
+
+// UnexplainedAccessesParallel is the concurrent counterpart of
+// UnexplainedAccesses: the template masks are computed (or extended) with a
+// worker pool, ORed word-at-a-time into one packed union, and the zero bits
+// collected — a popcount-speed scan, no per-row template loop. The returned
+// row indexes are in ascending order, identical to the sequential result.
+// It returns nil if ctx is cancelled first (see UnexplainedRows for the
+// error-carrying variant).
+func (a *Auditor) UnexplainedAccessesParallel(ctx context.Context, parallelism int) []int {
+	rows, err := a.UnexplainedRows(ctx, parallelism)
+	if err != nil {
+		return nil
+	}
+	return rows
 }
 
 // ExplainedFractionParallel is the concurrent counterpart of

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds is the property test over the delay schedule: for a
+// spread of (base, cap, seed) triples, every jittered delay lies within
+// [base, cap], and the per-attempt ceiling grows monotonically until it
+// saturates at cap.
+func TestBackoffBounds(t *testing.T) {
+	cases := []struct{ base, cap time.Duration }{
+		{time.Millisecond, 250 * time.Millisecond},
+		{5 * time.Millisecond, 5 * time.Millisecond},  // cap == base: constant
+		{10 * time.Millisecond, 3 * time.Millisecond}, // cap below base clamps
+		{time.Nanosecond, time.Hour},                  // 62+ doublings: overflow guard
+		{0, 0},                                        // zero value: defaults
+	}
+	for _, tc := range cases {
+		for seed := uint64(0); seed < 5; seed++ {
+			b := &Backoff{Base: tc.base, Cap: tc.cap, Seed: seed}
+			lo := tc.base
+			if lo <= 0 {
+				lo = time.Millisecond
+			}
+			hi := tc.cap
+			if hi < lo {
+				hi = lo
+			}
+			for i := 0; i < 200; i++ {
+				d := b.Next()
+				if d < lo || d > hi {
+					t.Fatalf("base=%v cap=%v seed=%d attempt %d: delay %v outside [%v, %v]",
+						tc.base, tc.cap, seed, i, d, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministic pins that the jitter sequence is a pure
+// function of the seed: same seed, same delays; different seed, different
+// delays.
+func TestBackoffDeterministic(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		b := &Backoff{Base: time.Millisecond, Cap: time.Second, Seed: seed}
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, b2, c := seq(42), seq(42), seq(43)
+	differs := false
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("seed 42 replay diverged at attempt %d: %v vs %v", i, a[i], b2[i])
+		}
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 produced identical 32-delay sequences")
+	}
+}
+
+// TestRetryBudget pins the attempt accounting: a permanently retryable op
+// is tried exactly `attempts` times, a non-retryable one exactly once,
+// and a success stops the loop immediately.
+func TestRetryBudget(t *testing.T) {
+	ctx := context.Background()
+	fast := func() *Backoff { return &Backoff{Base: time.Microsecond, Cap: 10 * time.Microsecond} }
+
+	calls := 0
+	err := Retry(ctx, 5, fast(), func(int) error { calls++; return Retryable(errors.New("flaky")) })
+	if calls != 5 {
+		t.Errorf("retryable op called %d times, want 5 (budget)", calls)
+	}
+	if !IsRetryable(err) {
+		t.Errorf("exhausted retry lost the last error: %v", err)
+	}
+
+	calls = 0
+	perm := errors.New("permanent")
+	if err := Retry(ctx, 5, fast(), func(int) error { calls++; return perm }); !errors.Is(err, perm) || calls != 1 {
+		t.Errorf("non-retryable op: calls=%d err=%v, want 1 call returning the error", calls, err)
+	}
+
+	calls = 0
+	if err := Retry(ctx, 5, fast(), func(int) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Errorf("successful op: calls=%d err=%v, want 1 call and nil", calls, err)
+	}
+
+	calls = 0
+	attempts := []int{}
+	err = Retry(ctx, 3, fast(), func(a int) error {
+		calls++
+		attempts = append(attempts, a)
+		if a < 2 {
+			return Retryable(errors.New("warming up"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("heal-on-third: calls=%d err=%v", calls, err)
+	}
+	for i, a := range attempts {
+		if a != i {
+			t.Errorf("attempt numbering: op saw %v", attempts)
+			break
+		}
+	}
+}
+
+// TestRetryCancelledMidBackoff pins prompt abort: with a multi-second
+// backoff pending, cancelling the context returns well before the delay
+// elapses, and the error carries both the last attempt's failure and the
+// cancellation.
+func TestRetryCancelledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	flaky := Retryable(errors.New("flaky"))
+	b := &Backoff{Base: 10 * time.Second, Cap: 10 * time.Second}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Retry(ctx, 3, b, func(int) error { return flaky })
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("retry loop slept %v through a cancellation; want prompt abort", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("aborted retry error %v does not match context.Canceled", err)
+	}
+	if !errors.Is(err, flaky) {
+		t.Errorf("aborted retry error %v lost the last attempt's failure", err)
+	}
+}
+
+// TestRetryCancelledBeforeStart pins that an already-cancelled context
+// never runs the op.
+func TestRetryCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, 3, &Backoff{}, func(int) error { calls++; return nil })
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled-before-start: calls=%d err=%v", calls, err)
+	}
+}

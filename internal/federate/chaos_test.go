@@ -1,0 +1,374 @@
+package federate_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explain"
+	"repro/internal/fault"
+	"repro/internal/federate"
+	"repro/internal/query"
+)
+
+// chaosPolicy is the retry policy the chaos suite runs under: enough
+// attempts to outlast every transient schedule below, with millisecond
+// backoffs so the suite stays fast.
+func chaosPolicy(seed int64) federate.Policy {
+	return federate.Policy{
+		Retry: federate.RetryPolicy{
+			MaxAttempts: 5,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    4 * time.Millisecond,
+			Seed:        uint64(seed),
+		},
+	}
+}
+
+// assertReportsEqual compares two report slices field for field.
+func assertReportsEqual(t *testing.T, label string, got, want []core.AccessReport) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d reports, want %d", label, len(got), len(want))
+	}
+	for r := range want {
+		if !reflect.DeepEqual(got[r], want[r]) {
+			t.Fatalf("%s: report %d differs:\n got %+v\nwant %+v", label, r, got[r], want[r])
+		}
+	}
+}
+
+// TestChaosTransientByteIdentical is the tentpole differential under
+// transient faults: across 3 seeds × K∈{2,4} × j∈{1,4}, with error,
+// panic, and delay injectors armed at the stream, per-row, and mask seams
+// on transient schedules, a federation with retries enabled must produce
+// reports byte-identical to the unfaulted single engine — and the
+// aggregate surfaces (unexplained rows, explained fraction, support) must
+// agree exactly as well, with their own seams injected.
+func TestChaosTransientByteIdentical(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3} {
+		ds, single := singleEngine(t, seed)
+		want := single.ExplainAll(ctx, 4)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: empty single-engine audit", seed)
+		}
+		wantUnexplained := single.UnexplainedAccessesParallel(ctx, 4)
+		wantFraction := single.ExplainedFractionParallel(ctx, 4)
+
+		for _, k := range []int{2, 4} {
+			f := splitFederation(t, ds, k, func(row int) int { return row % k })
+			f.SetPolicy(chaosPolicy(seed))
+			for _, j := range []int{1, 4} {
+				fault.Reset()
+				fault.Default.SetSeed(uint64(seed))
+				fault.Install(
+					// Stream start: shard0 fails twice then heals; shard1
+					// panics once (retryably) on its second call.
+					fault.Transient("federate.shard0.stream", 2),
+					fault.Rule{Site: "federate.shard1.stream", Kind: fault.KindPanic,
+						After: 1, Count: 1,
+						Err: fault.Retryable(errors.New("injected panic"))},
+					// Per-row: shard1 fails its 6th and 7th row calls; every
+					// shard's 50th row call stalls briefly.
+					fault.Rule{Site: "federate.shard1.stream.row", After: 5, Count: 2,
+						Err: fault.Retryable(errors.New("injected row fault"))},
+					fault.Rule{Site: "federate.*.stream.row", Kind: fault.KindDelay,
+						Delay: 200 * time.Microsecond, After: 49, Count: 1},
+					// Mask computation: the first ensure call across the
+					// federation fails once.
+					fault.Transient("core.mask.ensure", 1),
+					// Aggregate seams, for the calls below.
+					fault.Transient("federate.shard0.unexplained", 1),
+					fault.Transient("federate.shard1.support", 1),
+				)
+
+				label := fmt.Sprintf("seed %d k=%d j=%d", seed, k, j)
+				got := f.ExplainAll(ctx, j)
+				assertReportsEqual(t, label+" reports", got, want)
+				if d := f.LastDegraded(); !d.IsZero() {
+					t.Fatalf("%s: transient faults left a degraded annotation: %+v", label, d)
+				}
+
+				gotUnexplained, err := f.UnexplainedAccessesErr(ctx, j)
+				if err != nil {
+					t.Fatalf("%s: UnexplainedAccessesErr: %v", label, err)
+				}
+				if !reflect.DeepEqual(gotUnexplained, wantUnexplained) {
+					t.Fatalf("%s: unexplained rows differ: got %v want %v", label, gotUnexplained, wantUnexplained)
+				}
+				gotFraction, err := f.ExplainedFractionErr(ctx, j)
+				if err != nil {
+					t.Fatalf("%s: ExplainedFractionErr: %v", label, err)
+				}
+				if gotFraction != wantFraction {
+					t.Fatalf("%s: fraction %v, want %v", label, gotFraction, wantFraction)
+				}
+				if fault.Default.Injected() == 0 {
+					t.Fatalf("%s: no fault fired — the chaos schedule never hit a seam", label)
+				}
+				for _, h := range f.ShardHealth() {
+					if h.State != federate.Healthy {
+						t.Fatalf("%s: shard %s ended %v, want healthy after recovery", label, h.Name, h.State)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChaosSupportTransient drives the support seam: an injected transient
+// fault on one shard's support call must retry into the exact federated
+// sum.
+func TestChaosSupportTransient(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ctx := context.Background()
+	ds, _ := singleEngine(t, 1)
+	f := splitFederation(t, ds, 2, func(row int) int { return row % 2 })
+	f.SetPolicy(chaosPolicy(1))
+
+	ev := query.NewEvaluator(ds.DB)
+	for _, tpl := range []*explain.PathTemplate{
+		explain.WithDrTemplate("appt-with-dr", "Appointments", "an appointment"),
+		explain.GroupTemplate("appt-same-group", "Appointments", "an appointment"),
+	} {
+		want := ev.Support(tpl.Path)
+		fault.Reset()
+		fault.Install(fault.Transient("federate.shard0.support", 1))
+		got, err := f.SupportCtx(ctx, tpl.Path)
+		if err != nil {
+			t.Fatalf("SupportCtx(%s): %v", tpl.Name(), err)
+		}
+		if got != want {
+			t.Fatalf("SupportCtx(%s) = %d, want %d", tpl.Name(), got, want)
+		}
+		if fault.Default.Injected() == 0 {
+			t.Fatalf("SupportCtx(%s): support seam never fired", tpl.Name())
+		}
+	}
+}
+
+// TestChaosHangTimeoutRetry pins the timeout path: a shard stream that
+// hangs once converts — via the per-attempt call deadline — into a
+// retryable timeout, and the retry produces byte-identical output.
+func TestChaosHangTimeoutRetry(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ctx := context.Background()
+	ds, single := singleEngine(t, 1)
+	want := single.ExplainAll(ctx, 4)
+
+	f := splitFederation(t, ds, 2, func(row int) int { return row % 2 })
+	pol := chaosPolicy(1)
+	// The per-attempt deadline bounds the whole shard stream, so it must
+	// comfortably cover a genuine (healed) attempt — including under
+	// -race — while still converting the hung first attempt into a
+	// retryable timeout.
+	pol.CallTimeout = 2 * time.Second
+	f.SetPolicy(pol)
+
+	fault.Install(fault.Rule{Site: "federate.shard1.stream", Kind: fault.KindHang, Count: 1})
+	start := time.Now()
+	got := f.ExplainAll(ctx, 4)
+	assertReportsEqual(t, "hang+timeout", got, want)
+	if el := time.Since(start); el < 2*time.Second {
+		t.Errorf("audit finished in %v — the hang never engaged the timeout", el)
+	}
+	if fault.Default.Injected() == 0 {
+		t.Error("hang injector never fired")
+	}
+}
+
+// TestChaosPermanentStrictFailFast pins strict mode: a permanently failing
+// shard aborts the batch surface with an error matching ErrShardDown, the
+// materializing wrappers return their zero results, and the shard is
+// marked Down.
+func TestChaosPermanentStrictFailFast(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ctx := context.Background()
+	ds, _ := singleEngine(t, 1)
+	f := splitFederation(t, ds, 2, func(row int) int { return row % 2 })
+	f.SetPolicy(chaosPolicy(1))
+
+	// A prefix glob arms every shard1 seam: the stream, its rows, and the
+	// aggregate calls all fail permanently — the shard is simply gone.
+	fault.Install(fault.Permanent("federate.shard1.*"))
+	err := f.StreamReports(ctx, 4, func(core.AccessReport) error { return nil })
+	if !errors.Is(err, federate.ErrShardDown) {
+		t.Fatalf("strict StreamReports error = %v, want ErrShardDown", err)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("shard-down error lost the injected cause: %v", err)
+	}
+	if got := f.ExplainAll(ctx, 4); got != nil {
+		t.Errorf("strict ExplainAll returned %d reports under a permanent fault, want nil", len(got))
+	}
+	if _, err := f.UnexplainedAccessesErr(ctx, 4); !errors.Is(err, federate.ErrShardDown) {
+		t.Errorf("strict UnexplainedAccessesErr error = %v, want ErrShardDown", err)
+	}
+	health := f.ShardHealth()
+	if health[1].State != federate.Down {
+		t.Errorf("failing shard state = %v, want down", health[1].State)
+	}
+	if health[0].State == federate.Down {
+		t.Errorf("healthy shard marked down")
+	}
+	if d := f.LastDegraded(); !d.IsZero() {
+		t.Errorf("strict mode recorded a degraded annotation: %+v", d)
+	}
+}
+
+// TestChaosPermanentDegraded is the degraded-mode differential: with one
+// shard permanently down from its first stream call, degraded mode must
+// return exactly the oracle restricted to the surviving shards — for
+// reports, unexplained rows, and the fraction — with the Degraded
+// annotation accounting for every skipped row. Healing the fault then
+// restores full, annotation-free results (Down → Probing → Healthy).
+func TestChaosPermanentDegraded(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3} {
+		ds, single := singleEngine(t, seed)
+		want := single.ExplainAll(ctx, 4)
+		wantUnexplained := single.UnexplainedAccessesParallel(ctx, 4)
+		for _, k := range []int{2, 4} {
+			f := splitFederation(t, ds, k, func(row int) int { return row % k })
+			f.SetPolicy(chaosPolicy(seed))
+			f.SetDegradedMode(true)
+
+			// Restrict the oracle to rows outside shard0 (round-robin:
+			// global row g lives on shard g%k).
+			var wantSurvive []core.AccessReport
+			downRows := 0
+			for g, rep := range want {
+				if g%k == 0 {
+					downRows++
+					continue
+				}
+				wantSurvive = append(wantSurvive, rep)
+			}
+			var wantUnexpSurvive []int
+			for _, g := range wantUnexplained {
+				if g%k != 0 {
+					wantUnexpSurvive = append(wantUnexpSurvive, g)
+				}
+			}
+
+			fault.Reset()
+			fault.Install(fault.Permanent("federate.shard0.stream"))
+
+			got := f.ExplainAll(ctx, 4)
+			assertReportsEqual(t, "degraded reports", got, wantSurvive)
+			d := f.LastDegraded()
+			if len(d.MissingShards) != 1 || d.MissingShards[0] != "shard0" {
+				t.Fatalf("seed %d k=%d: MissingShards = %v, want [shard0]", seed, k, d.MissingShards)
+			}
+			if d.RowsSkipped != downRows {
+				t.Fatalf("seed %d k=%d: RowsSkipped = %d, want %d", seed, k, d.RowsSkipped, downRows)
+			}
+
+			fault.Reset()
+			fault.Install(fault.Permanent("federate.shard0.unexplained"))
+			gotUnexp, err := f.UnexplainedAccessesErr(ctx, 4)
+			if err != nil {
+				t.Fatalf("seed %d k=%d: degraded UnexplainedAccessesErr: %v", seed, k, err)
+			}
+			if !reflect.DeepEqual(gotUnexp, wantUnexpSurvive) {
+				t.Fatalf("seed %d k=%d: degraded unexplained = %v, want %v", seed, k, gotUnexp, wantUnexpSurvive)
+			}
+			frac, err := f.ExplainedFractionErr(ctx, 4)
+			if err != nil {
+				t.Fatalf("seed %d k=%d: degraded ExplainedFractionErr: %v", seed, k, err)
+			}
+			surviveTotal := len(wantSurvive)
+			wantFrac := 0.0
+			if surviveTotal > 0 {
+				wantFrac = float64(surviveTotal-len(wantUnexpSurvive)) / float64(surviveTotal)
+			}
+			if frac != wantFrac {
+				t.Fatalf("seed %d k=%d: degraded fraction = %v, want %v", seed, k, frac, wantFrac)
+			}
+			if d := f.LastDegraded(); d.RowsSkipped != downRows {
+				t.Fatalf("seed %d k=%d: aggregate RowsSkipped = %d, want %d", seed, k, d.RowsSkipped, downRows)
+			}
+
+			// Heal: the next call probes the down shard and full results
+			// return, with no annotation left behind.
+			fault.Reset()
+			got = f.ExplainAll(ctx, 4)
+			assertReportsEqual(t, "healed reports", got, want)
+			if d := f.LastDegraded(); !d.IsZero() {
+				t.Fatalf("seed %d k=%d: healed run still annotated: %+v", seed, k, d)
+			}
+			for _, h := range f.ShardHealth() {
+				if h.State != federate.Healthy {
+					t.Fatalf("seed %d k=%d: shard %s ended %v after healing", seed, k, h.Name, h.State)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosMidStreamDegraded pins the partial-shard accounting: a shard
+// that dies after emitting part of its stream leaves exactly its emitted
+// prefix in the degraded result, and RowsSkipped counts exactly the rows
+// it never delivered.
+func TestChaosMidStreamDegraded(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ctx := context.Background()
+	ds, single := singleEngine(t, 2)
+	want := single.ExplainAll(ctx, 4)
+
+	const k = 2
+	const prefix = 7 // shard0 row calls that succeed before the permanent fault
+	f := splitFederation(t, ds, k, func(row int) int { return row % k })
+	f.SetPolicy(chaosPolicy(2))
+	f.SetDegradedMode(true)
+
+	fault.Install(fault.Rule{Site: "federate.shard0.stream.row", After: prefix,
+		Err: errors.New("injected permanent row fault")})
+
+	got := f.ExplainAll(ctx, 4)
+	// Expected: all shard1 rows, plus shard0's first `prefix` rows
+	// (round-robin: global row g is shard0's row g/k when g%k==0).
+	var wantPartial []core.AccessReport
+	skipped := 0
+	for g, rep := range want {
+		if g%k == 0 && g/k >= prefix {
+			skipped++
+			continue
+		}
+		wantPartial = append(wantPartial, rep)
+	}
+	assertReportsEqual(t, "mid-stream degraded", got, wantPartial)
+	d := f.LastDegraded()
+	if len(d.MissingShards) != 1 || d.MissingShards[0] != "shard0" || d.RowsSkipped != skipped {
+		t.Fatalf("Degraded = %+v, want shard0 with %d rows skipped", d, skipped)
+	}
+}
+
+// TestChaosRetryExhaustion pins that a transient fault outlasting the
+// budget still downs the shard: 5 scheduled failures against a 3-attempt
+// budget must surface ErrShardDown in strict mode, and the error must
+// stay inspectable down to the injected cause.
+func TestChaosRetryExhaustion(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ctx := context.Background()
+	ds, _ := singleEngine(t, 1)
+	f := splitFederation(t, ds, 2, func(row int) int { return row % 2 })
+	f.SetPolicy(federate.Policy{Retry: federate.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}})
+
+	fault.Install(fault.Transient("federate.shard0.stream", 5))
+	err := f.StreamReports(ctx, 2, func(core.AccessReport) error { return nil })
+	if !errors.Is(err, federate.ErrShardDown) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("exhausted retries: err = %v, want ErrShardDown wrapping the injected fault", err)
+	}
+	if got := fault.Default.Injected(); got != 3 {
+		t.Errorf("injector fired %d times, want exactly the 3-attempt budget", got)
+	}
+}

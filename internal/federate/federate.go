@@ -46,10 +46,13 @@ import (
 	"iter"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/accesslog"
 	"repro/internal/core"
 	"repro/internal/explain"
+	"repro/internal/fault"
 	"repro/internal/groups"
 	"repro/internal/mine"
 	"repro/internal/obs"
@@ -74,6 +77,12 @@ type shard struct {
 	// global maps each audited row index to its position in the merged log,
 	// strictly ascending — the merge key that restores global order.
 	global []int
+	// health is the shard's HealthState (see policy.go), advisory
+	// bookkeeping maintained by callShard.
+	health atomic.Int32
+	// Precomputed fault-injection site names (initResilience), so the
+	// audit hot paths never concatenate strings.
+	siteStream, siteRow, siteAgg, siteSupport string
 }
 
 // Federation audits N per-shard engines as one logical log. Construct it
@@ -108,6 +117,13 @@ type Federation struct {
 	// an already-configured database, or a Join whose shards all carry an
 	// identical persisted copy) or was built WithoutGroups.
 	hier *groups.Hierarchy
+	// Resilience state (policy.go): the retry/timeout policy, the degraded-
+	// mode switch, and the last batch call's Degraded annotation.
+	polMu    sync.RWMutex
+	pol      Policy
+	degraded atomic.Bool
+	degMu    sync.Mutex
+	lastDeg  Degraded
 }
 
 // config collects construction options.
@@ -253,6 +269,7 @@ func Split(db *relation.Database, graph *schemagraph.Graph, k int, assign func(r
 	f.estimEv = query.NewEvaluator(db)
 	f.assign = assign
 	f.consumed = log.NumRows()
+	f.initResilience()
 	return f, nil
 }
 
@@ -373,6 +390,7 @@ func Join(dbs []*relation.Database, graph *schemagraph.Graph, opts ...Option) (*
 	}
 	f.estimEv = query.NewEvaluator(f.shards[0].db)
 	f.consumed = merged.NumRows()
+	f.initResilience()
 	return f, nil
 }
 
@@ -532,27 +550,72 @@ type streamItem struct {
 // the shard pipelines stop promptly and StreamReports returns ctx.Err(). In
 // both cases fn has seen a clean prefix of the merged stream.
 //
+// Each shard's pipeline runs under the federation's resilience policy
+// (callShard): per-attempt timeouts, retries with backoff on retryable
+// failures, and panic containment. A retried shard resumes exactly where
+// it left off — the attempt re-streams and skips the reports already
+// pushed, which the deterministic per-shard stream makes exact — so
+// transient faults never duplicate or drop a report. In strict mode a
+// shard whose budget is exhausted aborts the stream with an error matching
+// ErrShardDown; in degraded mode (SetDegradedMode) its remaining rows are
+// skipped, the merge continues over the surviving shards, and the loss is
+// recorded in LastDegraded.
+//
 // The worker budget is divided across the shards, but every shard pipeline
 // must run concurrently for the merge to make progress, so the effective
 // worker count is max(parallelism, NumShards) — a federation cannot be
 // throttled below one worker per shard.
 func (f *Federation) StreamReports(ctx context.Context, parallelism int, fn func(core.AccessReport) error) error {
 	per := f.perShardWorkers(parallelism)
+	degradedOn := f.degraded.Load()
+	deg := &degradeAcc{}
 	sources := make([]func(push func(streamItem) error) error, len(f.shards))
 	for i, sh := range f.shards {
 		sources[i] = func(push func(streamItem) error) error {
-			next := 0
-			return sh.auditor.StreamReports(ctx, per[i], func(rep core.AccessReport) error {
-				g := sh.global[next]
-				next++
-				return push(streamItem{global: g, rep: rep})
+			emitted := 0
+			err := f.callShard(ctx, sh, func(actx context.Context) error {
+				if fault.Enabled() {
+					if err := fault.InjectCtx(actx, sh.siteStream); err != nil {
+						return err
+					}
+				}
+				// A retry re-streams the shard from the top and skips what
+				// earlier attempts already pushed into the merge.
+				skip := emitted
+				return sh.auditor.StreamReports(actx, per[i], func(rep core.AccessReport) error {
+					if fault.Enabled() {
+						if err := fault.InjectCtx(actx, sh.siteRow); err != nil {
+							return err
+						}
+					}
+					if skip > 0 {
+						skip--
+						return nil
+					}
+					if err := push(streamItem{global: sh.global[emitted], rep: rep}); err != nil {
+						return &downstreamError{err: err}
+					}
+					emitted++
+					return nil
+				})
 			})
+			if err != nil && degradedOn && errors.Is(err, ErrShardDown) {
+				deg.add(i, sh.name, len(sh.global)-emitted)
+				return nil
+			}
+			return err
 		}
 	}
-	return parallel.MergeStreams(mergeBuffer,
+	err := parallel.MergeStreams(mergeBuffer,
 		func(a, b streamItem) bool { return a.global < b.global },
 		func(it streamItem) error { return fn(it.rep) },
 		sources...)
+	if err != nil {
+		f.setLastDegraded(Degraded{})
+		return err
+	}
+	f.setLastDegraded(deg.snapshot())
+	return nil
 }
 
 // errStopStream unwinds StreamReports when a Reports consumer breaks early.
@@ -592,7 +655,8 @@ func (f *Federation) ExplainAll(ctx context.Context, parallelism int) []core.Acc
 
 // Support returns the path's support over the merged log: the sum of the
 // shard-local supports. Support counts audited rows and the shards partition
-// them, so the sum is exact, not an estimate.
+// them, so the sum is exact, not an estimate. It is the unguarded fast
+// path; SupportCtx adds the resilience policy.
 func (f *Federation) Support(p pathmodel.Path) int {
 	total := 0
 	for _, sh := range f.shards {
@@ -601,42 +665,138 @@ func (f *Federation) Support(p pathmodel.Path) int {
 	return total
 }
 
-// UnexplainedAccesses returns the merged-log row indexes no registered
-// template explains, ascending — the shard-local shortlists mapped through
-// each shard's global row mapping. It returns nil if ctx is cancelled first.
-func (f *Federation) UnexplainedAccesses(ctx context.Context, parallelism int) []int {
-	var out []int
-	for _, sh := range f.shards {
-		rows := sh.auditor.UnexplainedAccessesParallel(ctx, parallelism)
-		if ctx.Err() != nil {
+// SupportCtx is Support under the resilience policy: each shard's
+// evaluation runs through callShard (injection seam, panic containment,
+// retries). In degraded mode a down shard contributes zero and is recorded
+// in LastDegraded; in strict mode its failure aborts the call.
+func (f *Federation) SupportCtx(ctx context.Context, p pathmodel.Path) (int, error) {
+	degradedOn := f.degraded.Load()
+	deg := &degradeAcc{}
+	total := 0
+	for i, sh := range f.shards {
+		err := f.callShard(ctx, sh, func(actx context.Context) error {
+			if fault.Enabled() {
+				if err := fault.InjectCtx(actx, sh.siteSupport); err != nil {
+					return err
+				}
+			}
+			total += sh.auditor.Evaluator().Prepare(p).Support()
 			return nil
+		})
+		if err != nil {
+			if degradedOn && errors.Is(err, ErrShardDown) {
+				deg.add(i, sh.name, len(sh.global))
+				continue
+			}
+			f.setLastDegraded(Degraded{})
+			return 0, err
+		}
+	}
+	f.setLastDegraded(deg.snapshot())
+	return total, nil
+}
+
+// UnexplainedAccessesErr returns the merged-log row indexes no registered
+// template explains, ascending — the shard-local shortlists mapped through
+// each shard's global row mapping — with shard calls running under the
+// resilience policy. In degraded mode a down shard's rows are absent from
+// the result (and recorded in LastDegraded); in strict mode any shard
+// failure aborts the call.
+func (f *Federation) UnexplainedAccessesErr(ctx context.Context, parallelism int) ([]int, error) {
+	degradedOn := f.degraded.Load()
+	deg := &degradeAcc{}
+	var out []int
+	for i, sh := range f.shards {
+		var rows []int
+		err := f.callShard(ctx, sh, func(actx context.Context) error {
+			if fault.Enabled() {
+				if err := fault.InjectCtx(actx, sh.siteAgg); err != nil {
+					return err
+				}
+			}
+			var e error
+			rows, e = sh.auditor.UnexplainedRows(actx, parallelism)
+			return e
+		})
+		if err != nil {
+			if degradedOn && errors.Is(err, ErrShardDown) {
+				deg.add(i, sh.name, len(sh.global))
+				continue
+			}
+			f.setLastDegraded(Degraded{})
+			return nil, err
 		}
 		for _, r := range rows {
 			out = append(out, sh.global[r])
 		}
 	}
 	sort.Ints(out)
-	return out
+	f.setLastDegraded(deg.snapshot())
+	return out, nil
 }
 
-// ExplainedFraction returns the fraction of merged-log rows explained by the
-// registered templates, aggregated from exact shard-local explained counts —
-// bit-identical to the single-engine fraction, because both divide the same
-// integers. An empty federation (or a cancelled ctx) yields 0, never NaN.
-func (f *Federation) ExplainedFraction(ctx context.Context, parallelism int) float64 {
-	total := f.merged.NumRows()
-	if total == 0 {
-		return 0
+// UnexplainedAccesses is the error-swallowing convenience form of
+// UnexplainedAccessesErr, matching core.Auditor.UnexplainedAccessesParallel:
+// it returns nil if ctx is cancelled (or any shard fails in strict mode).
+func (f *Federation) UnexplainedAccesses(ctx context.Context, parallelism int) []int {
+	rows, err := f.UnexplainedAccessesErr(ctx, parallelism)
+	if err != nil {
+		return nil
 	}
+	return rows
+}
+
+// ExplainedFractionErr returns the fraction of merged-log rows explained by
+// the registered templates, aggregated from exact shard-local explained
+// counts — bit-identical to the single-engine fraction, because both divide
+// the same integers — with shard calls running under the resilience policy.
+// In degraded mode the fraction is over the surviving shards' rows only
+// (the denominator shrinks with the numerator, so a dead shard does not
+// masquerade as unexplained accesses); LastDegraded records the loss.
+func (f *Federation) ExplainedFractionErr(ctx context.Context, parallelism int) (float64, error) {
+	degradedOn := f.degraded.Load()
+	deg := &degradeAcc{}
+	total := 0
 	unexplained := 0
-	for _, sh := range f.shards {
-		rows := sh.auditor.UnexplainedAccessesParallel(ctx, parallelism)
-		if ctx.Err() != nil {
-			return 0
+	for i, sh := range f.shards {
+		var rows []int
+		err := f.callShard(ctx, sh, func(actx context.Context) error {
+			if fault.Enabled() {
+				if err := fault.InjectCtx(actx, sh.siteAgg); err != nil {
+					return err
+				}
+			}
+			var e error
+			rows, e = sh.auditor.UnexplainedRows(actx, parallelism)
+			return e
+		})
+		if err != nil {
+			if degradedOn && errors.Is(err, ErrShardDown) {
+				deg.add(i, sh.name, len(sh.global))
+				continue
+			}
+			f.setLastDegraded(Degraded{})
+			return 0, err
 		}
+		total += len(sh.global)
 		unexplained += len(rows)
 	}
-	return float64(total-unexplained) / float64(total)
+	f.setLastDegraded(deg.snapshot())
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(total-unexplained) / float64(total), nil
+}
+
+// ExplainedFraction is the error-swallowing convenience form of
+// ExplainedFractionErr: an empty federation, a cancelled ctx, or a strict-
+// mode shard failure yields 0, never NaN.
+func (f *Federation) ExplainedFraction(ctx context.Context, parallelism int) float64 {
+	frac, err := f.ExplainedFractionErr(ctx, parallelism)
+	if err != nil {
+		return 0
+	}
+	return frac
 }
 
 // PatientReport is the federated user-centric view: every access to one

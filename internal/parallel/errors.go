@@ -1,0 +1,50 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// SourceError wraps an error a MergeStreams source returned, carrying the
+// source index so a federated caller can attribute the failure to a shard
+// without string matching. It unwraps to the source's error, so
+// errors.Is/As see the whole chain (cancellation, injected faults,
+// retryability markers).
+type SourceError struct {
+	Source int
+	Err    error
+}
+
+func (e *SourceError) Error() string {
+	return fmt.Sprintf("parallel: merge source %d: %v", e.Source, e.Err)
+}
+
+// Unwrap exposes the source's underlying error.
+func (e *SourceError) Unwrap() error { return e.Err }
+
+// PanicError is a panic recovered from a pipeline goroutine, converted to
+// an error so a failing worker tears the pipeline down cleanly instead of
+// crashing the process. Value is the original panic value; when it is an
+// error (as injected panics are), Unwrap exposes it so errors.Is/As and
+// retryability predicates keep working through the containment boundary.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: recovered panic: %v", e.Value)
+}
+
+// Unwrap exposes the panic value when it is an error, nil otherwise.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// newPanicError captures the recovered value v with the current stack.
+func newPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}

@@ -28,9 +28,13 @@ var errMergeStopped = errors.New("parallel: merge stopped")
 // push calls return errMergeStopped, which sources should propagate) and
 // that error is returned. If a source function returns a non-nil error other
 // than the stop sentinel, the merge stops emitting no later than the point
-// the failed stream's items are needed and returns that error; emit has then
-// seen a clean merged prefix. A nil return means every source completed and
-// every item was emitted.
+// the failed stream's items are needed and returns that error wrapped in a
+// *SourceError carrying the source index (errors.Is/As still reach the
+// underlying cause); emit has then seen a clean merged prefix. A source
+// that panics is contained the same way: its goroutine recovers the value
+// into a *PanicError, the merge tears down cleanly, and the caller gets an
+// error instead of a crashed process. A nil return means every source
+// completed and every item was emitted.
 func MergeStreams[T any](buffer int, less func(a, b T) bool, emit func(T) error, sources ...func(push func(T) error) error) error {
 	if len(sources) == 0 {
 		return nil
@@ -45,6 +49,14 @@ func MergeStreams[T any](buffer int, less func(a, b T) bool, emit func(T) error,
 	for i, src := range sources {
 		chans[i] = make(chan T, buffer)
 		go func(i int, src func(push func(T) error) error) {
+			// Defers run LIFO: the recover (and errs[i] write) below happens
+			// before the close, preserving the written-before-close contract.
+			defer close(chans[i])
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = newPanicError(r)
+				}
+			}()
 			push := func(v T) error {
 				select {
 				case chans[i] <- v:
@@ -55,9 +67,8 @@ func MergeStreams[T any](buffer int, less func(a, b T) bool, emit func(T) error,
 			}
 			err := src(push)
 			if err != nil && !errors.Is(err, errMergeStopped) {
-				errs[i] = err
+				errs[i] = &SourceError{Source: i, Err: err}
 			}
-			close(chans[i])
 		}(i, src)
 	}
 

@@ -31,6 +31,12 @@ import (
 // With one worker (or one chunk) everything runs inline on the calling
 // goroutine — produce then emit, chunk by chunk — preserving sequential
 // semantics exactly.
+//
+// A produce call that panics never tears the pipeline: pooled workers
+// recover the value, wake the emitter, drain the pool, and the panic is
+// re-raised on the calling goroutine with its original value — the same
+// place an inline produce would have panicked — so a resilience layer
+// wrapping the call can contain it into an error.
 func OrderedChunks[T any](workers, n, chunkSize, window int, stop func() bool, produce func(worker, lo, hi int) T, emit func(T) error) error {
 	if n <= 0 {
 		return nil
@@ -89,12 +95,13 @@ func OrderedChunks[T any](workers, n, chunkSize, window int, stop func() bool, p
 	// workers may only produce chunks in [base, base+window). done makes every
 	// waiter give up after a stop trip or an emit error.
 	var (
-		mu     sync.Mutex
-		cond   = sync.NewCond(&mu)
-		base   int
-		slots  = make([]T, window)
-		filled = make([]bool, window)
-		done   bool
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		base     int
+		slots    = make([]T, window)
+		filled   = make([]bool, window)
+		done     bool
+		panicVal any // first recovered produce panic, re-raised on the caller
 	)
 	var zero T
 
@@ -136,7 +143,17 @@ func OrderedChunks[T any](workers, n, chunkSize, window int, stop func() bool, p
 				if timed {
 					t0 = time.Now()
 				}
-				v := produce(w, lo, hi)
+				v, pv := contain(func() T { return produce(w, lo, hi) })
+				if pv != nil {
+					mu.Lock()
+					if panicVal == nil {
+						panicVal = pv
+					}
+					done = true
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
 				if timed {
 					poolBusyNanos.Observe(time.Since(t0).Nanoseconds())
 				}
@@ -198,5 +215,16 @@ func OrderedChunks[T any](workers, n, chunkSize, window int, stop func() bool, p
 		break
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 	return emitErr
+}
+
+// contain runs fn, recovering any panic into pv so a pooled worker can
+// hand the value back to the calling goroutine instead of crashing the
+// process.
+func contain[T any](fn func() T) (v T, pv any) {
+	defer func() { pv = recover() }()
+	return fn(), nil
 }

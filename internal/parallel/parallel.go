@@ -27,6 +27,12 @@ import (
 // calls finish (the caller decides what a partial result means — the batch
 // engine maps it to ctx.Err()). Indexes are otherwise each processed
 // exactly once, in no particular order.
+//
+// A body call that panics never kills the process from a pool goroutine:
+// the first panic is recovered, the remaining workers drain, and the value
+// is re-raised on the calling goroutine — where an inline body would have
+// panicked — so callers with a containment boundary see it as one panic in
+// one place.
 func ForEach(workers, count int, stop func() bool, body func(worker, i int)) {
 	if count <= 0 {
 		return
@@ -57,18 +63,35 @@ func ForEach(workers, count int, stop func() bool, body func(worker, i int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicVal any // first recovered body panic, re-raised on the caller
+	panicked := func() bool {
+		panicMu.Lock()
+		defer panicMu.Unlock()
+		return panicVal != nil
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= count || (stop != nil && stop()) {
+				if i >= count || (stop != nil && stop()) || panicked() {
 					return
 				}
-				run(w, i)
+				if _, pv := contain(func() any { run(w, i); return nil }); pv != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = pv
+					}
+					panicMu.Unlock()
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }

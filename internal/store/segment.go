@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/relation"
 )
 
@@ -315,9 +316,14 @@ type segScanner struct {
 // the magic, so a torn header means the segment never finished being born.
 // On error the file is closed and sc.fileSize still reports the size seen.
 func openSegScanner(path string) (sc *segScanner, err error) {
+	// Chaos seam: injectable open/read failure, standing in for a segment
+	// on an unreachable volume.
+	if err := fault.Inject("store.segment.read"); err != nil {
+		return nil, fmt.Errorf("store: reading segment %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("store: reading segment %s: %w", path, err)
 	}
 	sc = &segScanner{f: f}
 	defer func() {

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/relation"
 )
@@ -223,14 +224,19 @@ func (s *Store) AppendRows(table string, rows [][]relation.Value) error {
 			return fmt.Errorf("store: append to %s: row has %d values, want %d", table, len(row), len(mt.Columns))
 		}
 	}
+	// Chaos seam: injectable append failure, standing in for a full disk
+	// or yanked volume under the segment file.
+	if err := fault.Inject("store.segment.append"); err != nil {
+		return fmt.Errorf("store: append to %s: %w", table, err)
+	}
 	f, err := os.OpenFile(s.segPath(table), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return err
+		return fmt.Errorf("store: append to %s: %w", table, err)
 	}
 	rec := appendRecord(nil, encodeRows(rows))
 	if _, err := f.Write(rec); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("store: append to %s: %w", table, err)
 	}
 	bytesWritten.Add(int64(len(rec)))
 	timed := obs.Enabled()
@@ -238,16 +244,22 @@ func (s *Store) AppendRows(table string, rows [][]relation.Value) error {
 	if timed {
 		t0 = time.Now()
 	}
-	if err := f.Sync(); err != nil {
+	// Chaos seam: injectable fsync failure — the classic silent-loss spot,
+	// where an error means the record may or may not be durable.
+	err = fault.Inject("store.segment.sync")
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("store: sync %s: %w", table, err)
 	}
 	if timed {
 		syncNanos.Observe(time.Since(t0).Nanoseconds())
 	}
 	appends.Add(1)
 	if err := f.Close(); err != nil {
-		return err
+		return fmt.Errorf("store: append to %s: %w", table, err)
 	}
 	mt.Rows += len(rows)
 	return s.writeManifest()
@@ -294,11 +306,11 @@ func (s *Store) SaveTable(t *relation.Table) error {
 func (s *Store) writeManifest() error {
 	data, err := json.MarshalIndent(s.man, "", "  ")
 	if err != nil {
-		return err
+		return fmt.Errorf("store: encoding manifest: %w", err)
 	}
 	tmp := filepath.Join(s.dir, "."+ManifestName+".tmp")
 	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
+		return fmt.Errorf("store: writing manifest: %w", err)
 	}
 	bytesWritten.Add(int64(len(data) + 1))
 	return os.Rename(tmp, filepath.Join(s.dir, ManifestName))
